@@ -1,0 +1,56 @@
+//! Criterion benches behind the ranging figures (F2/F4/F6/F7/F8, MAXR):
+//! chirp-train reception, detection, filtering and consistency checking.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rl_ranging::consistency::{merge_bidirectional, ConsistencyConfig};
+use rl_ranging::filter::StatFilter;
+use rl_ranging::service::{RangingService, ServiceConfig};
+use rl_signal::chirp::ChirpTrainConfig;
+use rl_signal::detector::ReceptionSimulator;
+use rl_signal::env::Environment;
+
+fn bench_reception(c: &mut Criterion) {
+    let sim = ReceptionSimulator::new(Environment::Grass.profile(), ChirpTrainConfig::paper());
+    let mut rng = rl_math::rng::seeded(1);
+    c.bench_function("reception/chirp_train_12m", |b| {
+        b.iter(|| black_box(sim.receive(black_box(12.0), &mut rng)))
+    });
+
+    let outcome = sim.receive(12.0, &mut rl_math::rng::seeded(2));
+    c.bench_function("reception/detect_signal", |b| {
+        b.iter(|| black_box(outcome.detect_default()))
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut rng = rl_math::rng::seeded(3);
+    let service =
+        RangingService::new(Environment::Grass, ServiceConfig::refined(), &mut rng).unwrap();
+    // A small 3x3 sub-grid keeps the bench wall-clock sane; the figure
+    // harness runs the full 46-node field.
+    let positions: Vec<rl_geom::Point2> = (0..9)
+        .map(|i| rl_geom::Point2::new((i % 3) as f64 * 9.144, (i / 3) as f64 * 9.144))
+        .collect();
+    c.bench_function("campaign/grass_3x3_6rounds", |b| {
+        b.iter(|| black_box(service.run_campaign(&positions, &mut rng)))
+    });
+
+    let campaign = service.run_campaign(&positions, &mut rl_math::rng::seeded(4));
+    c.bench_function("campaign/median_filter", |b| {
+        b.iter(|| black_box(StatFilter::Median.apply(&campaign)))
+    });
+
+    let estimates = StatFilter::Median.apply(&campaign);
+    c.bench_function("campaign/bidirectional_merge", |b| {
+        b.iter_batched(
+            || estimates.clone(),
+            |e| black_box(merge_bidirectional(&e, campaign.n, &ConsistencyConfig::default())),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_reception, bench_campaign);
+criterion_main!(benches);

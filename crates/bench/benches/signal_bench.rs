@@ -1,0 +1,58 @@
+//! Criterion benches behind Figure 10 and the detection ablations: the
+//! sliding-DFT filter and the Figure-3 record/detect routines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rl_signal::detection::{detect_signal, record_signal, DetectionParams};
+use rl_signal::dft::{Band, XsmFilter, XsmToneDetector};
+use rl_signal::waveform::WaveformSpec;
+
+fn bench_dft(c: &mut Criterion) {
+    let wave = WaveformSpec::figure10_noisy().synthesize(&mut rl_math::rng::seeded(1));
+    c.bench_function("dft/filter_800_samples", |b| {
+        b.iter(|| {
+            let mut f = XsmFilter::new();
+            let mut acc = 0.0;
+            for &s in &wave {
+                acc += f.filter(black_box(s)).quarter;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("dft/detect_chirps_800_samples", |b| {
+        b.iter(|| {
+            let mut det = XsmToneDetector::new(Band::Quarter);
+            black_box(det.detect_chirps(&wave, 24))
+        })
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    // A realistic accumulated buffer: signal at ~60% of a 1475-sample
+    // buffer, accumulated over 10 chirps.
+    let mut accumulated = vec![0u8; 1475];
+    let mut rng = rl_math::rng::seeded(2);
+    let hits: Vec<bool> = (0..1475).map(|i| (885..1013).contains(&i)).collect();
+    for _ in 0..10 {
+        record_signal(&mut accumulated, &hits);
+    }
+    // Sprinkle noise counts.
+    for _ in 0..40 {
+        let idx = (rand::Rng::random::<f64>(&mut rng) * 1475.0) as usize;
+        accumulated[idx] = accumulated[idx].saturating_add(1);
+    }
+    c.bench_function("detection/record_signal_1475", |b| {
+        b.iter(|| {
+            let mut acc = accumulated.clone();
+            record_signal(&mut acc, black_box(&hits));
+            black_box(acc)
+        })
+    });
+    c.bench_function("detection/detect_signal_1475", |b| {
+        b.iter(|| black_box(detect_signal(&accumulated, &DetectionParams::paper())))
+    });
+}
+
+criterion_group!(benches, bench_dft, bench_detection);
+criterion_main!(benches);

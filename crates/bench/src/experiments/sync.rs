@@ -1,0 +1,80 @@
+//! Clock-synchronization error analysis (§3.1: "time synchronization by
+//! itself is not a significant source of error").
+
+use rl_net::clock::{DriftingClock, TimeSync};
+
+use super::ExperimentResult;
+use crate::report::pct;
+use crate::Table;
+
+/// **SYNC** — ranging error caused by clock drift: the paper's analytic
+/// bound (50 µs/s ⇒ ~0.15 cm at 30 m) plus simulated FTSP exchanges.
+pub fn sync_error_bound(seed: u64) -> ExperimentResult {
+    let mut analytic = Table::new(
+        "analytic bound",
+        &["drift_us_per_s", "distance_m", "ranging_error_cm"],
+    );
+    for drift_us in [10.0, 50.0, 100.0] {
+        for distance in [10.0, 20.0, 30.0] {
+            let err_m = TimeSync::max_ranging_error_m(drift_us * 1e-6, distance, 340.0);
+            analytic.push(&[
+                format!("{drift_us:.0}"),
+                format!("{distance:.0}"),
+                format!("{:.4}", err_m * 100.0),
+            ]);
+        }
+    }
+
+    // Simulated exchanges: convert sender timestamps 88 ms after sync and
+    // measure the conversion error distribution.
+    let sync = TimeSync::ftsp();
+    let mut rng = rl_math::rng::seeded(seed);
+    let mut worst_err_s: f64 = 0.0;
+    let mut sum_err_s = 0.0;
+    let trials = 500;
+    for _ in 0..trials {
+        let a = DriftingClock::sample(&mut rng, 100.0, 5.0e-5);
+        let b = DriftingClock::sample(&mut rng, 100.0, 5.0e-5);
+        let t0 = 10.0;
+        let state = sync.synchronize(&a, &b, t0, &mut rng);
+        let t1 = t0 + 30.0 / 340.0; // sound flight time at 30 m
+        let converted = state.sender_to_receiver(a.local_from_global(t1));
+        let err = (converted - b.local_from_global(t1)).abs();
+        worst_err_s = worst_err_s.max(err);
+        sum_err_s += err;
+    }
+    let mut simulated = Table::new("simulated FTSP exchange (30 m flight)", &["metric", "value"]);
+    simulated.push(&[
+        "mean |error| (µs)".into(),
+        format!("{:.2}", sum_err_s / trials as f64 * 1e6),
+    ]);
+    simulated.push(&["max |error| (µs)".into(), format!("{:.2}", worst_err_s * 1e6)]);
+    simulated.push(&[
+        "max ranging error (cm)".into(),
+        format!("{:.3}", worst_err_s * 340.0 * 100.0),
+    ]);
+
+    let bound_cm = TimeSync::max_ranging_error_m(5.0e-5, 30.0, 340.0) * 100.0;
+    ExperimentResult::new("SYNC", "clock-drift contribution to ranging error")
+        .with_table(analytic)
+        .with_table(simulated)
+        .with_note(format!(
+            "paper: 50 µs/s over 30 m flight => ~0.15 cm; measured analytic {bound_cm:.3} cm \
+             (simulated exchanges include µs-scale MAC jitter, still sub-millimeter ranging impact: {})",
+            pct(0.0015 / 0.33) // relative to the 33 cm core error
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_matches_paper() {
+        let r = sync_error_bound(1);
+        assert!(r.notes[0].contains("0.150 cm") || r.notes[0].contains("0.15 cm"));
+        // The analytic table contains the 50/30 entry.
+        let csv = r.tables[0].to_csv();
+        assert!(csv.lines().any(|l| l.starts_with("50,30,0.1500")));
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment harness regenerating every figure of the paper.
+//!
+//! Each evaluation artifact of Kwon et al. (ICDCS 2005) has a matching
+//! experiment function in [`experiments`]; the `figures` binary runs them
+//! and prints the same rows/series the paper reports, alongside CSV dumps
+//! for plotting. The Criterion benches in `benches/` time the underlying
+//! algorithms.
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | F2   | Fig. 2 baseline ranging errors (urban) | [`experiments::ranging::figure2_baseline_urban`] |
+//! | F4   | Fig. 4 baseline + median filter | [`experiments::ranging::figure4_median_filter`] |
+//! | F6   | Fig. 6 refined-service error histogram | [`experiments::ranging::figure6_refined_histogram`] |
+//! | F7   | Fig. 7 bidirectional-only histogram | [`experiments::ranging::figure7_bidirectional`] |
+//! | F8   | Fig. 8 error vs distance | [`experiments::ranging::figure8_error_vs_distance`] |
+//! | MAXR | §3.6.2 maximum-range study | [`experiments::ranging::max_range_study`] |
+//! | SYNC | §3.1 clock-sync error bound | [`experiments::sync::sync_error_bound`] |
+//! | F10  | Fig. 10 DFT tone-detection filter | [`experiments::signal::figure10_dft_filter`] |
+//! | F11  | Fig. 11 intersection consistency demo | [`experiments::multilateration::figure11_intersection_consistency`] |
+//! | F12  | Fig. 12 parking-lot multilateration | [`experiments::multilateration::figure12_parking_lot`] |
+//! | F13/14 | Figs. 13–14 sparse-grid multilateration | [`experiments::multilateration::figure14_sparse_grid`] |
+//! | F15/16 | Figs. 15–16 augmented multilateration | [`experiments::multilateration::figure16_augmented_grid`] |
+//! | F17/18 | Figs. 17–18 centralized LSS (grid) | [`experiments::lss::figure18_grid_constrained`] |
+//! | F19  | Fig. 19 LSS without constraint (grid) | [`experiments::lss::figure19_grid_unconstrained`] |
+//! | F20  | Fig. 20 town multilateration | [`experiments::multilateration::figure20_town`] |
+//! | F21  | Fig. 21 town LSS with constraint | [`experiments::lss::figure21_town_constrained`] |
+//! | F22  | Fig. 22 town LSS without constraint | [`experiments::lss::figure22_town_unconstrained`] |
+//! | F23  | Fig. 23 error vs epoch | [`experiments::lss::figure23_error_vs_epoch`] |
+//! | F24  | Fig. 24 distributed LSS, sparse | [`experiments::distributed::figure24_sparse`] |
+//! | F25  | Fig. 25 distributed LSS, augmented | [`experiments::distributed::figure25_augmented`] |
+//!
+//! Ablations beyond the paper's figures: soft-constraint weight sweep,
+//! statistical-filter comparison, chirp-length sweep, detection-threshold
+//! sweep, transform-method comparison, and LSS initialization comparison —
+//! see the `ablations` module.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;
+
+/// The master seed all experiments derive their RNG streams from, so the
+/// whole figure set is reproducible bit-for-bit.
+pub const MASTER_SEED: u64 = 20050614;

@@ -1,0 +1,243 @@
+//! Evaluation against ground truth.
+//!
+//! Anchor-free LSS produces coordinates in an arbitrary frame, so the paper
+//! evaluates it after a best-fit match: "the computed coordinates were
+//! translated, rotated and flipped to achieve a best-fit match with the
+//! actual node coordinates" (Section 4.2.2). The headline metric is the
+//! **average localization error** — "the average of the distances between
+//! actual node positions and the corresponding estimated positions".
+
+use rl_geom::{fit_rigid_transform, Point2};
+use rl_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::types::PositionMap;
+use crate::{LocalizationError, Result};
+
+/// The outcome of comparing estimated positions with ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Number of nodes the algorithm localized.
+    pub localized: usize,
+    /// Total number of nodes.
+    pub total: usize,
+    /// Average localization error over localized nodes, meters.
+    pub mean_error: f64,
+    /// Largest single-node error, meters.
+    pub max_error: f64,
+    /// Per-node errors (only localized nodes, ordered by id).
+    pub per_node: Vec<(NodeId, f64)>,
+    /// Estimated positions mapped into the ground-truth frame.
+    pub aligned: PositionMap,
+}
+
+impl Evaluation {
+    /// Fraction of nodes localized.
+    pub fn localized_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.localized as f64 / self.total as f64
+        }
+    }
+
+    /// Average error after dropping the `k` largest per-node errors (the
+    /// paper reports e.g. "without the largest 5 errors, the average
+    /// improves to 1.5 m").
+    pub fn mean_error_without_worst(&self, k: usize) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        let mut errors: Vec<f64> = self.per_node.iter().map(|&(_, e)| e).collect();
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        let keep = errors.len().saturating_sub(k);
+        if keep == 0 {
+            return 0.0;
+        }
+        errors[..keep].iter().sum::<f64>() / keep as f64
+    }
+}
+
+/// Evaluates estimates **after best-fit rigid alignment** (translation,
+/// rotation, reflection) with the ground truth — the protocol for
+/// anchor-free algorithms like LSS.
+///
+/// Only localized nodes participate in the alignment and the metric.
+///
+/// # Errors
+///
+/// * [`LocalizationError::Evaluation`] when fewer than 2 nodes are
+///   localized or the estimate/truth lengths disagree,
+/// * geometric errors from a degenerate alignment.
+pub fn evaluate_against_truth(estimated: &PositionMap, truth: &[Point2]) -> Result<Evaluation> {
+    if estimated.len() != truth.len() {
+        return Err(LocalizationError::Evaluation(
+            "estimate and truth cover different node counts",
+        ));
+    }
+    let localized: Vec<NodeId> = estimated.localized_nodes();
+    if localized.len() < 2 {
+        return Err(LocalizationError::Evaluation(
+            "need at least two localized nodes to align",
+        ));
+    }
+    let source: Vec<Point2> = localized
+        .iter()
+        .map(|&id| estimated.get(id).expect("localized"))
+        .collect();
+    let target: Vec<Point2> = localized.iter().map(|&id| truth[id.index()]).collect();
+    let fit = fit_rigid_transform(&source, &target, true)?;
+
+    let mut aligned = PositionMap::unlocalized(truth.len());
+    let mut per_node = Vec::with_capacity(localized.len());
+    let mut max_error: f64 = 0.0;
+    for (&id, &src) in localized.iter().zip(&source) {
+        let mapped = fit.transform.apply(src);
+        aligned.set(id, mapped);
+        let err = mapped.distance(truth[id.index()]);
+        max_error = max_error.max(err);
+        per_node.push((id, err));
+    }
+    let mean_error = per_node.iter().map(|&(_, e)| e).sum::<f64>() / per_node.len() as f64;
+
+    Ok(Evaluation {
+        localized: localized.len(),
+        total: truth.len(),
+        mean_error,
+        max_error,
+        per_node,
+        aligned,
+    })
+}
+
+/// Evaluates estimates **in the absolute frame** (no alignment) — the
+/// protocol for anchor-based algorithms like multilateration, whose output
+/// already lives in the anchors' coordinate system.
+///
+/// # Errors
+///
+/// * [`LocalizationError::Evaluation`] when nothing is localized or the
+///   lengths disagree.
+pub fn evaluate_absolute(estimated: &PositionMap, truth: &[Point2]) -> Result<Evaluation> {
+    if estimated.len() != truth.len() {
+        return Err(LocalizationError::Evaluation(
+            "estimate and truth cover different node counts",
+        ));
+    }
+    let localized = estimated.localized_nodes();
+    if localized.is_empty() {
+        return Err(LocalizationError::Evaluation("no nodes were localized"));
+    }
+    let mut per_node = Vec::with_capacity(localized.len());
+    let mut max_error: f64 = 0.0;
+    let mut aligned = PositionMap::unlocalized(truth.len());
+    for &id in &localized {
+        let est = estimated.get(id).expect("localized");
+        aligned.set(id, est);
+        let err = est.distance(truth[id.index()]);
+        max_error = max_error.max(err);
+        per_node.push((id, err));
+    }
+    let mean_error = per_node.iter().map(|&(_, e)| e).sum::<f64>() / per_node.len() as f64;
+    Ok(Evaluation {
+        localized: localized.len(),
+        total: truth.len(),
+        mean_error,
+        max_error,
+        per_node,
+        aligned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_geom::{RigidTransform, Vec2};
+
+    fn truth() -> Vec<Point2> {
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(10.0, 10.0),
+            Point2::new(0.0, 10.0),
+        ]
+    }
+
+    #[test]
+    fn perfect_estimate_scores_zero() {
+        let t = truth();
+        let est = PositionMap::complete(t.clone());
+        let eval = evaluate_against_truth(&est, &t).unwrap();
+        assert_eq!(eval.localized, 4);
+        assert!(eval.mean_error < 1e-10);
+        assert!(eval.max_error < 1e-10);
+        assert_eq!(eval.localized_fraction(), 1.0);
+    }
+
+    #[test]
+    fn rotated_flipped_estimate_aligns_to_zero() {
+        let t = truth();
+        let hidden = RigidTransform::new(1.2, true, Vec2::new(-30.0, 12.0));
+        let est =
+            PositionMap::complete(t.iter().map(|&p| hidden.apply(p)).collect::<Vec<_>>());
+        let eval = evaluate_against_truth(&est, &t).unwrap();
+        assert!(eval.mean_error < 1e-9, "mean error {}", eval.mean_error);
+    }
+
+    #[test]
+    fn absolute_evaluation_does_not_align() {
+        let t = truth();
+        let shifted: Vec<Point2> =
+            t.iter().map(|&p| p + Vec2::new(1.0, 0.0)).collect();
+        let est = PositionMap::complete(shifted);
+        let absolute = evaluate_absolute(&est, &t).unwrap();
+        assert!((absolute.mean_error - 1.0).abs() < 1e-12);
+        // Aligned evaluation removes the shift entirely.
+        let aligned = evaluate_against_truth(&est, &t).unwrap();
+        assert!(aligned.mean_error < 1e-9);
+    }
+
+    #[test]
+    fn partial_localization_counts() {
+        let t = truth();
+        let mut est = PositionMap::unlocalized(4);
+        est.set(NodeId(0), t[0]);
+        est.set(NodeId(2), t[2]);
+        let eval = evaluate_against_truth(&est, &t).unwrap();
+        assert_eq!(eval.localized, 2);
+        assert_eq!(eval.total, 4);
+        assert_eq!(eval.localized_fraction(), 0.5);
+        assert_eq!(eval.per_node.len(), 2);
+        assert!(!eval.aligned.is_localized(NodeId(1)));
+    }
+
+    #[test]
+    fn mean_without_worst_drops_outliers() {
+        let t = truth();
+        let mut positions = t.clone();
+        positions[3] = Point2::new(0.0, 30.0); // 20 m outlier
+        let est = PositionMap::complete(positions);
+        let eval = evaluate_absolute(&est, &t).unwrap();
+        assert!(eval.mean_error > 4.0);
+        let trimmed = eval.mean_error_without_worst(1);
+        assert!(trimmed < 1e-12, "trimmed {trimmed}");
+        // Dropping everything yields zero.
+        assert_eq!(eval.mean_error_without_worst(10), 0.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        let t = truth();
+        let too_few = PositionMap::unlocalized(4);
+        assert!(matches!(
+            evaluate_against_truth(&too_few, &t),
+            Err(LocalizationError::Evaluation(_))
+        ));
+        assert!(matches!(
+            evaluate_absolute(&too_few, &t),
+            Err(LocalizationError::Evaluation(_))
+        ));
+        let wrong_len = PositionMap::unlocalized(3);
+        assert!(evaluate_against_truth(&wrong_len, &t).is_err());
+    }
+}

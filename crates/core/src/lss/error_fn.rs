@@ -1,0 +1,297 @@
+//! The LSS stress function and its gradient.
+//!
+//! Centralized LSS seeks a configuration minimizing (Section 4.2.1):
+//!
+//! ```text
+//! E = Σ_{d_ij ∈ D} w_ij (‖p_i − p_j‖ − d_ij)²
+//!   + Σ_{d_ij ∉ D} w_D (min(‖p_i − p_j‖, d_min) − d_min)²
+//! ```
+//!
+//! The first sum is the weighted least-squares-scaling stress `E_w`; the
+//! second is the **minimum-spacing soft constraint**, penalizing
+//! *unmeasured* pairs that are placed closer than `d_min` ("straightening
+//! a plane which is incorrectly folded"). The penalized set changes
+//! dynamically as the minimization progresses.
+//!
+//! The configuration vector is laid out `[x_0 … x_{n−1}, y_0 … y_{n−1}]`,
+//! matching the paper's gradient formulas.
+
+use rl_math::gradient::Objective;
+use rl_ranging::measurement::MeasurementSet;
+
+/// Guard against division by a vanishing computed distance.
+const MIN_DISTANCE: f64 = 1e-9;
+
+/// The minimum-spacing soft constraint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftConstraint {
+    /// Minimum node spacing `d_min`, meters (9.14 m in the grass-grid
+    /// experiment).
+    pub min_spacing_m: f64,
+    /// Constraint weight `w_D` (10 in the paper, versus `w_ij` = 1).
+    pub weight: f64,
+}
+
+/// The LSS stress objective over a measurement set.
+#[derive(Debug, Clone)]
+pub struct LssObjective {
+    n: usize,
+    /// Measured pairs: `(i, j, distance, weight)`.
+    measured: Vec<(usize, usize, f64, f64)>,
+    /// Unmeasured pairs (complement of `measured`), for the constraint.
+    unmeasured: Vec<(usize, usize)>,
+    soft: Option<SoftConstraint>,
+}
+
+impl LssObjective {
+    /// Builds the objective. When `soft` is set, the complement pair list
+    /// is materialized (O(n²) memory, fine for the paper's network sizes).
+    pub fn new(set: &MeasurementSet, soft: Option<SoftConstraint>) -> Self {
+        let n = set.node_count();
+        let measured: Vec<(usize, usize, f64, f64)> = set
+            .iter_weighted()
+            .map(|(a, b, d, w)| (a.index(), b.index(), d, w))
+            .collect();
+        let unmeasured = if soft.is_some() {
+            let mut out = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if !set.contains(rl_net::NodeId(i), rl_net::NodeId(j)) {
+                        out.push((i, j));
+                    }
+                }
+            }
+            out
+        } else {
+            Vec::new()
+        };
+        LssObjective {
+            n,
+            measured,
+            unmeasured,
+            soft,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of measured pairs driving `E_w`.
+    pub fn measured_pairs(&self) -> usize {
+        self.measured.len()
+    }
+
+    /// Number of unmeasured pairs subject to the soft constraint.
+    pub fn constrained_pairs(&self) -> usize {
+        self.unmeasured.len()
+    }
+
+    /// Extracts `(x_i, y_i)` from the flat configuration vector.
+    #[inline]
+    fn coords(x: &[f64], n: usize, i: usize) -> (f64, f64) {
+        (x[i], x[n + i])
+    }
+
+    /// How many unmeasured pairs currently violate the constraint at `x`.
+    pub fn active_constraints(&self, x: &[f64]) -> usize {
+        let Some(soft) = self.soft else { return 0 };
+        self.unmeasured
+            .iter()
+            .filter(|&&(i, j)| {
+                let (xi, yi) = Self::coords(x, self.n, i);
+                let (xj, yj) = Self::coords(x, self.n, j);
+                ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt() < soft.min_spacing_m
+            })
+            .count()
+    }
+}
+
+impl Objective for LssObjective {
+    fn dim(&self) -> usize {
+        2 * self.n
+    }
+
+    fn value(&self, x: &[f64]) -> f64 {
+        let n = self.n;
+        let mut e = 0.0;
+        for &(i, j, d, w) in &self.measured {
+            let (xi, yi) = Self::coords(x, n, i);
+            let (xj, yj) = Self::coords(x, n, j);
+            let dc = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+            e += w * (dc - d) * (dc - d);
+        }
+        if let Some(soft) = self.soft {
+            for &(i, j) in &self.unmeasured {
+                let (xi, yi) = Self::coords(x, n, i);
+                let (xj, yj) = Self::coords(x, n, j);
+                let dc = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                let clamped = dc.min(soft.min_spacing_m);
+                let diff = clamped - soft.min_spacing_m;
+                e += soft.weight * diff * diff;
+            }
+        }
+        e
+    }
+
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        let n = self.n;
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for &(i, j, d, w) in &self.measured {
+            let (xi, yi) = Self::coords(x, n, i);
+            let (xj, yj) = Self::coords(x, n, j);
+            let dx = xi - xj;
+            let dy = yi - yj;
+            let dc = (dx * dx + dy * dy).sqrt().max(MIN_DISTANCE);
+            let factor = 2.0 * w * (dc - d) / dc;
+            grad[i] += factor * dx;
+            grad[j] -= factor * dx;
+            grad[n + i] += factor * dy;
+            grad[n + j] -= factor * dy;
+        }
+        if let Some(soft) = self.soft {
+            for &(i, j) in &self.unmeasured {
+                let (xi, yi) = Self::coords(x, n, i);
+                let (xj, yj) = Self::coords(x, n, j);
+                let dx = xi - xj;
+                let dy = yi - yj;
+                let dc = (dx * dx + dy * dy).sqrt();
+                if dc >= soft.min_spacing_m {
+                    continue;
+                }
+                let dc = dc.max(MIN_DISTANCE);
+                let factor = 2.0 * soft.weight * (dc - soft.min_spacing_m) / dc;
+                grad[i] += factor * dx;
+                grad[j] -= factor * dx;
+                grad[n + i] += factor * dy;
+                grad[n + j] -= factor * dy;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_net::NodeId;
+
+    fn pair_set(d: f64) -> MeasurementSet {
+        let mut set = MeasurementSet::new(2);
+        set.insert(NodeId(0), NodeId(1), d);
+        set
+    }
+
+    /// Finite-difference gradient check.
+    fn check_gradient(obj: &LssObjective, x: &[f64]) {
+        let mut grad = vec![0.0; x.len()];
+        obj.gradient(x, &mut grad);
+        let h = 1e-6;
+        for k in 0..x.len() {
+            let mut xp = x.to_vec();
+            xp[k] += h;
+            let mut xm = x.to_vec();
+            xm[k] -= h;
+            let numeric = (obj.value(&xp) - obj.value(&xm)) / (2.0 * h);
+            assert!(
+                (grad[k] - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                "grad[{k}] = {} vs numeric {numeric}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn stress_zero_at_exact_configuration() {
+        let set = pair_set(5.0);
+        let obj = LssObjective::new(&set, None);
+        // Nodes at distance exactly 5.
+        let x = [0.0, 5.0, 0.0, 0.0];
+        assert!(obj.value(&x) < 1e-18);
+        assert_eq!(obj.dim(), 4);
+        assert_eq!(obj.measured_pairs(), 1);
+        assert_eq!(obj.constrained_pairs(), 0);
+    }
+
+    #[test]
+    fn stress_grows_quadratically() {
+        let set = pair_set(5.0);
+        let obj = LssObjective::new(&set, None);
+        let at = |d: f64| obj.value(&[0.0, d, 0.0, 0.0]);
+        assert!((at(6.0) - 1.0).abs() < 1e-12);
+        assert!((at(7.0) - 4.0).abs() < 1e-12);
+        assert!((at(3.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_stress() {
+        let mut set = MeasurementSet::new(2);
+        set.insert_weighted(NodeId(0), NodeId(1), 5.0, 3.0);
+        let obj = LssObjective::new(&set, None);
+        assert!((obj.value(&[0.0, 6.0, 0.0, 0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut set = MeasurementSet::new(4);
+        set.insert(NodeId(0), NodeId(1), 5.0);
+        set.insert(NodeId(1), NodeId(2), 7.0);
+        set.insert_weighted(NodeId(2), NodeId(3), 4.0, 2.5);
+        let obj = LssObjective::new(&set, None);
+        let x = [0.3, 4.9, 11.2, 13.0, -0.2, 0.4, 1.0, -3.0];
+        check_gradient(&obj, &x);
+    }
+
+    #[test]
+    fn gradient_with_soft_constraint_matches_fd() {
+        let mut set = MeasurementSet::new(4);
+        set.insert(NodeId(0), NodeId(1), 5.0);
+        set.insert(NodeId(2), NodeId(3), 4.0);
+        let soft = SoftConstraint {
+            min_spacing_m: 6.0,
+            weight: 10.0,
+        };
+        let obj = LssObjective::new(&set, Some(soft));
+        assert_eq!(obj.constrained_pairs(), 4);
+        // Configuration with some constrained pairs inside d_min and some
+        // outside (avoid the non-differentiable point dc == d_min).
+        let x = [0.0, 5.0, 1.0, 9.0, 0.0, 0.0, 2.0, 1.5];
+        check_gradient(&obj, &x);
+    }
+
+    #[test]
+    fn soft_constraint_penalizes_only_close_unmeasured_pairs() {
+        let mut set = MeasurementSet::new(3);
+        set.insert(NodeId(0), NodeId(1), 5.0);
+        let soft = SoftConstraint {
+            min_spacing_m: 6.0,
+            weight: 10.0,
+        };
+        let obj = LssObjective::new(&set, Some(soft));
+        // Pairs (0,2) and (1,2) are unmeasured. Put node 2 far away:
+        // no penalty.
+        let far = [0.0, 5.0, 100.0, 0.0, 0.0, 0.0];
+        assert!(obj.value(&far) < 1e-18);
+        assert_eq!(obj.active_constraints(&far), 0);
+        // Node 2 at 3 m from node 0: one active violation of (6-3)².
+        let near = [0.0, 5.0, 3.0, 0.0, 0.0, 0.0];
+        let expected = 10.0 * (3.0f64 - 6.0).powi(2) + 10.0 * (2.0f64 - 6.0).powi(2);
+        assert!(
+            (obj.value(&near) - expected).abs() < 1e-9,
+            "value {} expected {expected}",
+            obj.value(&near)
+        );
+        assert_eq!(obj.active_constraints(&near), 2);
+    }
+
+    #[test]
+    fn coincident_points_have_finite_gradient() {
+        let set = pair_set(5.0);
+        let obj = LssObjective::new(&set, None);
+        let x = [1.0, 1.0, 2.0, 2.0]; // identical positions
+        let mut grad = vec![0.0; 4];
+        obj.gradient(&x, &mut grad);
+        assert!(grad.iter().all(|g| g.is_finite()));
+        assert!(obj.value(&x).is_finite());
+    }
+}

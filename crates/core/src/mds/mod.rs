@@ -1,0 +1,215 @@
+//! Multidimensional-scaling baselines.
+//!
+//! Classical MDS "requires distances between all pairs of nodes" — the
+//! impracticality that motivates LSS (Section 4.2). It is implemented here
+//! both as the baseline the paper compares against conceptually and,
+//! combined with shortest-path completion of the sparse distance graph (the
+//! MDS-MAP idea of Shang et al., discussed in Related Work), as a fast
+//! initializer for the LSS descent.
+
+use rl_geom::Point2;
+use rl_math::{DMatrix, SymmetricEigen};
+use rl_ranging::measurement::MeasurementSet;
+
+use crate::{LocalizationError, Result};
+
+/// Classical (Torgerson) MDS: recovers a 2-D configuration from a complete
+/// distance matrix via double centering and eigendecomposition.
+///
+/// # Errors
+///
+/// * [`LocalizationError::InvalidConfig`] if the matrix is not square or
+///   has negative entries,
+/// * numerical errors from the eigensolver.
+///
+/// # Example
+///
+/// ```
+/// use rl_math::DMatrix;
+/// use rl_core::mds::classical_mds;
+///
+/// // Three points on a line: 0, 3, 5.
+/// let d = DMatrix::from_rows(&[
+///     &[0.0, 3.0, 5.0],
+///     &[3.0, 0.0, 2.0],
+///     &[5.0, 2.0, 0.0],
+/// ]).unwrap();
+/// let coords = classical_mds(&d)?;
+/// let d01 = coords[0].distance(coords[1]);
+/// assert!((d01 - 3.0).abs() < 1e-9);
+/// # Ok::<(), rl_core::LocalizationError>(())
+/// ```
+pub fn classical_mds(distances: &DMatrix) -> Result<Vec<Point2>> {
+    if !distances.is_square() {
+        return Err(LocalizationError::InvalidConfig(
+            "distance matrix must be square",
+        ));
+    }
+    let n = distances.rows();
+    if n == 0 {
+        return Err(LocalizationError::InvalidConfig("empty distance matrix"));
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if distances[(i, j)] < 0.0 || !distances[(i, j)].is_finite() {
+                return Err(LocalizationError::InvalidConfig(
+                    "distances must be finite and non-negative",
+                ));
+            }
+        }
+    }
+    // Squared distances, symmetrized to tolerate small asymmetries.
+    let d2 = DMatrix::from_fn(n, n, |i, j| {
+        let d = 0.5 * (distances[(i, j)] + distances[(j, i)]);
+        d * d
+    });
+    let b = d2.double_center()?;
+    let eigen = SymmetricEigen::new(&b)?;
+    let coords = eigen.principal_coordinates(2.min(n));
+    Ok((0..n)
+        .map(|i| {
+            Point2::new(
+                coords[(i, 0)],
+                if coords.cols() > 1 { coords[(i, 1)] } else { 0.0 },
+            )
+        })
+        .collect())
+}
+
+/// MDS-MAP-style coordinates for a *sparse* measurement set: missing
+/// pairwise distances are completed with shortest-path distances through
+/// the measurement graph, then classical MDS is applied.
+///
+/// # Errors
+///
+/// * [`LocalizationError::InsufficientMeasurements`] when the measurement
+///   graph is disconnected (shortest paths undefined) or has fewer than
+///   three nodes.
+pub fn mdsmap_coordinates(set: &MeasurementSet) -> Result<Vec<Point2>> {
+    let n = set.node_count();
+    if n < 3 {
+        return Err(LocalizationError::InsufficientMeasurements(
+            "MDS-MAP needs at least three nodes",
+        ));
+    }
+    let topology = set.topology();
+    let sp = topology.shortest_paths(|a, b| {
+        set.get(a, b)
+            .expect("topology edges mirror measurements")
+    });
+    let mut d = DMatrix::zeros(n, n);
+    for (i, row) in sp.iter().enumerate() {
+        for (j, entry) in row.iter().enumerate() {
+            match entry {
+                Some(dist) => d[(i, j)] = *dist,
+                None => {
+                    return Err(LocalizationError::InsufficientMeasurements(
+                        "measurement graph is disconnected",
+                    ))
+                }
+            }
+        }
+    }
+    classical_mds(&d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_against_truth;
+    use crate::types::PositionMap;
+    use rl_net::NodeId;
+
+    fn grid(nx: usize, ny: usize, spacing: f64) -> Vec<Point2> {
+        let mut out = Vec::new();
+        for gy in 0..ny {
+            for gx in 0..nx {
+                out.push(Point2::new(gx as f64 * spacing, gy as f64 * spacing));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn classical_mds_recovers_complete_geometry() {
+        let truth = grid(3, 3, 5.0);
+        let n = truth.len();
+        let d = DMatrix::from_fn(n, n, |i, j| truth[i].distance(truth[j]));
+        let coords = classical_mds(&d).unwrap();
+        let eval =
+            evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
+        assert!(eval.mean_error < 1e-6, "mean error {}", eval.mean_error);
+    }
+
+    #[test]
+    fn classical_mds_input_validation() {
+        assert!(classical_mds(&DMatrix::zeros(2, 3)).is_err());
+        assert!(classical_mds(&DMatrix::zeros(0, 0)).is_err());
+        let negative = DMatrix::from_rows(&[&[0.0, -1.0], &[-1.0, 0.0]]).unwrap();
+        assert!(classical_mds(&negative).is_err());
+    }
+
+    #[test]
+    fn classical_mds_tolerates_noise() {
+        let truth = grid(3, 3, 9.0);
+        let n = truth.len();
+        let mut rng = rl_math::rng::seeded(11);
+        let d = DMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                (truth[i].distance(truth[j]) + rl_math::rng::normal(&mut rng, 0.0, 0.33))
+                    .max(0.1)
+            }
+        });
+        let coords = classical_mds(&d).unwrap();
+        let eval =
+            evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
+        assert!(eval.mean_error < 1.0, "mean error {}", eval.mean_error);
+    }
+
+    #[test]
+    fn mdsmap_completes_sparse_graph() {
+        let truth = grid(4, 4, 9.0);
+        let set = MeasurementSet::oracle(&truth, 14.0);
+        let coords = mdsmap_coordinates(&set).unwrap();
+        let eval =
+            evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
+        // Shortest-path completion overestimates long distances, so the
+        // reconstruction is coarse — but the layout must be recognizable.
+        assert!(eval.mean_error < 4.0, "mean error {}", eval.mean_error);
+    }
+
+    #[test]
+    fn mdsmap_rejects_disconnected_graphs() {
+        let mut set = MeasurementSet::new(4);
+        set.insert(NodeId(0), NodeId(1), 5.0);
+        set.insert(NodeId(2), NodeId(3), 5.0);
+        assert!(matches!(
+            mdsmap_coordinates(&set),
+            Err(LocalizationError::InsufficientMeasurements(_))
+        ));
+    }
+
+    #[test]
+    fn mdsmap_rejects_tiny_networks() {
+        let set = MeasurementSet::new(2);
+        assert!(mdsmap_coordinates(&set).is_err());
+    }
+
+    #[test]
+    fn collinear_points_need_only_one_dimension() {
+        let truth = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(9.0, 0.0),
+        ];
+        let n = truth.len();
+        let d = DMatrix::from_fn(n, n, |i, j| truth[i].distance(truth[j]));
+        let coords = classical_mds(&d).unwrap();
+        // Second coordinate collapses to ~0 for collinear input.
+        for p in &coords {
+            assert!(p.y.abs() < 1e-6, "expected 1-D embedding, got {p}");
+        }
+    }
+}

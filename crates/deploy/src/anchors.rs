@@ -1,0 +1,159 @@
+//! Anchor selection strategies.
+//!
+//! Hybrid localization schemes designate a subset of nodes as *anchors*
+//! that know their own position. The paper randomly chose 13 anchors of 46
+//! grid nodes and 18 of 59 town nodes; the parking-lot experiment used the
+//! 5 loudspeaker-equipped nodes. LSS needs no anchors at all — which is
+//! exactly the comparison the experiments draw.
+
+use rand::Rng;
+use rl_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::Deployment;
+
+/// How to choose anchors from a deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnchorSelection {
+    /// No anchors (anchor-free LSS operation).
+    None,
+    /// `count` anchors drawn uniformly at random.
+    Random {
+        /// Number of anchors.
+        count: usize,
+    },
+    /// Every `k`-th node (deterministic, evenly spread through the id
+    /// space).
+    EveryKth {
+        /// Stride.
+        k: usize,
+    },
+    /// An explicit anchor list.
+    Explicit(Vec<NodeId>),
+}
+
+impl AnchorSelection {
+    /// Resolves the strategy into a sorted, deduplicated anchor list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit anchor id is out of range, a random count
+    /// exceeds the node count, or `k` is zero.
+    pub fn select<R: Rng + ?Sized>(&self, deployment: &Deployment, rng: &mut R) -> Vec<NodeId> {
+        let n = deployment.len();
+        let mut out: Vec<NodeId> = match self {
+            AnchorSelection::None => Vec::new(),
+            AnchorSelection::Random { count } => {
+                assert!(
+                    *count <= n,
+                    "cannot pick {count} anchors from {n} nodes"
+                );
+                rl_math::rng::sample_indices(rng, n, *count)
+                    .into_iter()
+                    .map(NodeId)
+                    .collect()
+            }
+            AnchorSelection::EveryKth { k } => {
+                assert!(*k > 0, "stride must be positive");
+                (0..n).step_by(*k).map(NodeId).collect()
+            }
+            AnchorSelection::Explicit(list) => {
+                for id in list {
+                    assert!(id.index() < n, "anchor {id} out of range (n = {n})");
+                }
+                list.clone()
+            }
+        };
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl Default for AnchorSelection {
+    fn default() -> Self {
+        AnchorSelection::None
+    }
+}
+
+/// Splits node ids into `(anchors, non_anchors)` given an anchor list.
+pub fn split_nodes(n: usize, anchors: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>) {
+    let anchor_set: std::collections::BTreeSet<NodeId> = anchors.iter().copied().collect();
+    let mut non = Vec::with_capacity(n - anchor_set.len().min(n));
+    for i in 0..n {
+        if !anchor_set.contains(&NodeId(i)) {
+            non.push(NodeId(i));
+        }
+    }
+    (anchor_set.into_iter().collect(), non)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_geom::Point2;
+    use rl_math::rng::seeded;
+
+    fn deployment(n: usize) -> Deployment {
+        Deployment::new(
+            "test",
+            (0..n).map(|i| Point2::new(i as f64, 0.0)).collect(),
+        )
+    }
+
+    #[test]
+    fn none_selects_nothing() {
+        let mut rng = seeded(1);
+        assert!(AnchorSelection::None.select(&deployment(5), &mut rng).is_empty());
+        assert_eq!(AnchorSelection::default(), AnchorSelection::None);
+    }
+
+    #[test]
+    fn random_selects_unique_in_range() {
+        let mut rng = seeded(2);
+        let anchors = AnchorSelection::Random { count: 13 }.select(&deployment(46), &mut rng);
+        assert_eq!(anchors.len(), 13);
+        let set: std::collections::BTreeSet<_> = anchors.iter().collect();
+        assert_eq!(set.len(), 13);
+        assert!(anchors.iter().all(|a| a.index() < 46));
+        // Sorted.
+        assert!(anchors.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn every_kth_strides() {
+        let mut rng = seeded(3);
+        let anchors = AnchorSelection::EveryKth { k: 3 }.select(&deployment(7), &mut rng);
+        assert_eq!(anchors, vec![NodeId(0), NodeId(3), NodeId(6)]);
+    }
+
+    #[test]
+    fn explicit_passes_through_sorted() {
+        let mut rng = seeded(4);
+        let anchors = AnchorSelection::Explicit(vec![NodeId(4), NodeId(1), NodeId(4)])
+            .select(&deployment(5), &mut rng);
+        assert_eq!(anchors, vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn explicit_out_of_range_panics() {
+        let mut rng = seeded(5);
+        let _ = AnchorSelection::Explicit(vec![NodeId(9)]).select(&deployment(5), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn random_too_many_panics() {
+        let mut rng = seeded(6);
+        let _ = AnchorSelection::Random { count: 10 }.select(&deployment(5), &mut rng);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let (anchors, non) = split_nodes(5, &[NodeId(1), NodeId(3)]);
+        assert_eq!(anchors, vec![NodeId(1), NodeId(3)]);
+        assert_eq!(non, vec![NodeId(0), NodeId(2), NodeId(4)]);
+        assert_eq!(anchors.len() + non.len(), 5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Named experiment scenarios.
+//!
+//! Each scenario bundles a deployment, an anchor set and the seeds that
+//! make the paper's experiments reproducible bit-for-bit. The `rl-bench`
+//! harness builds every figure from one of these.
+
+use rand::Rng;
+use rl_geom::Point2;
+use rl_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::anchors::AnchorSelection;
+use crate::grid::OffsetGrid;
+use crate::random::RandomDeployment;
+use crate::town::TownMap;
+use crate::Deployment;
+
+/// A reproducible experiment geometry: deployment plus anchors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name, e.g. `"grass-grid-47"`.
+    pub name: String,
+    /// The deployment.
+    pub deployment: Deployment,
+    /// Anchor node ids (sorted).
+    pub anchors: Vec<NodeId>,
+}
+
+impl Scenario {
+    /// The Figure 5 grass grid: 47 motes, no anchors (LSS experiments).
+    pub fn grass_grid() -> Scenario {
+        let deployment = OffsetGrid::paper_figure5().generate();
+        Scenario {
+            name: "grass-grid-47".into(),
+            deployment,
+            anchors: Vec::new(),
+        }
+    }
+
+    /// The multilateration variant of the grass grid: 13 random anchors of
+    /// the 46 reporting motes (one mote failed to report, Section 4.1.3).
+    pub fn grass_grid_multilateration(seed: u64) -> Scenario {
+        // Drop one node to model the mote that failed to report.
+        let deployment = OffsetGrid::paper_figure5().generate().without_nodes(&[0]);
+        let mut rng = rl_math::rng::seeded(seed);
+        let anchors = AnchorSelection::Random { count: 13 }.select(&deployment, &mut rng);
+        Scenario {
+            name: "grass-grid-46-13anchors".into(),
+            deployment,
+            anchors,
+        }
+    }
+
+    /// The 15-node parking-lot experiment of Figure 12: 25×25 m area, the
+    /// 5 loudspeaker-equipped nodes as anchors.
+    pub fn parking_lot(seed: u64) -> Scenario {
+        let mut rng = rl_math::rng::seeded(seed);
+        let deployment = RandomDeployment::new(15, 25.0, 25.0, 4.0)
+            .generate(&mut rng)
+            .expect("15 nodes fit in 25x25 at 4 m separation");
+        let deployment = Deployment::new("parking-lot-15", deployment.positions);
+        // Anchors spread across the id space (the equipped nodes).
+        let anchors = AnchorSelection::EveryKth { k: 3 }.select(&deployment, &mut rng);
+        Scenario {
+            name: "parking-lot-15-5anchors".into(),
+            deployment,
+            anchors,
+        }
+    }
+
+    /// The town-map simulation of Figures 20–22: 59 nodes, 18 random
+    /// anchors.
+    pub fn town(seed: u64) -> Scenario {
+        let mut rng = rl_math::rng::seeded(seed);
+        let deployment = TownMap::paper_town().generate(59, &mut rng);
+        let anchors = AnchorSelection::Random { count: 18 }.select(&deployment, &mut rng);
+        Scenario {
+            name: "town-59-18anchors".into(),
+            deployment,
+            anchors,
+        }
+    }
+
+    /// The urban baseline-ranging deployment of Section 3.3: 60 motes over
+    /// a few city blocks (ranging evaluation only, no anchors needed).
+    pub fn urban_60(seed: u64) -> Scenario {
+        let mut rng = rl_math::rng::seeded(seed);
+        let deployment = TownMap {
+            jitter_m: 3.0,
+            ..TownMap::paper_town()
+        }
+        .generate(60, &mut rng);
+        Scenario {
+            name: "urban-60".into(),
+            deployment: Deployment::new("urban-60", deployment.positions),
+            anchors: Vec::new(),
+        }
+    }
+
+    /// Ground-truth positions of the anchors.
+    pub fn anchor_positions(&self) -> Vec<(NodeId, Point2)> {
+        self.anchors
+            .iter()
+            .map(|&a| (a, self.deployment.positions[a.index()]))
+            .collect()
+    }
+
+    /// Non-anchor node ids.
+    pub fn non_anchors(&self) -> Vec<NodeId> {
+        crate::anchors::split_nodes(self.deployment.len(), &self.anchors).1
+    }
+
+    /// Draws a fresh random anchor set of the same size (for repeated
+    /// trials).
+    pub fn reanchored<R: Rng + ?Sized>(&self, rng: &mut R) -> Scenario {
+        let anchors = AnchorSelection::Random {
+            count: self.anchors.len(),
+        }
+        .select(&self.deployment, rng);
+        Scenario {
+            name: self.name.clone(),
+            deployment: self.deployment.clone(),
+            anchors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_math::rng::seeded;
+
+    #[test]
+    fn grass_grid_matches_paper_counts() {
+        let s = Scenario::grass_grid();
+        assert_eq!(s.deployment.len(), 47);
+        assert!(s.anchors.is_empty());
+        assert_eq!(s.non_anchors().len(), 47);
+    }
+
+    #[test]
+    fn grass_multilateration_has_13_of_46() {
+        let s = Scenario::grass_grid_multilateration(42);
+        assert_eq!(s.deployment.len(), 46);
+        assert_eq!(s.anchors.len(), 13);
+        assert_eq!(s.non_anchors().len(), 33);
+        assert_eq!(s.anchor_positions().len(), 13);
+    }
+
+    #[test]
+    fn parking_lot_geometry() {
+        let s = Scenario::parking_lot(7);
+        assert_eq!(s.deployment.len(), 15);
+        assert_eq!(s.anchors.len(), 5);
+        let (lo, hi) = s.deployment.bounding_box().unwrap();
+        assert!(hi.x - lo.x <= 25.0 && hi.y - lo.y <= 25.0);
+    }
+
+    #[test]
+    fn town_has_59_nodes_18_anchors() {
+        let s = Scenario::town(11);
+        assert_eq!(s.deployment.len(), 59);
+        assert_eq!(s.anchors.len(), 18);
+    }
+
+    #[test]
+    fn urban_has_60_nodes() {
+        let s = Scenario::urban_60(3);
+        assert_eq!(s.deployment.len(), 60);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        assert_eq!(Scenario::town(5), Scenario::town(5));
+        assert_ne!(Scenario::town(5), Scenario::town(6));
+    }
+
+    #[test]
+    fn reanchoring_keeps_geometry() {
+        let s = Scenario::town(1);
+        let mut rng = seeded(99);
+        let r = s.reanchored(&mut rng);
+        assert_eq!(r.deployment, s.deployment);
+        assert_eq!(r.anchors.len(), s.anchors.len());
+        assert_ne!(r.anchors, s.anchors);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Scenario::parking_lot(1);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Scenario>(&json).unwrap(), s);
+    }
+}

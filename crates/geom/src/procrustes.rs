@@ -1,0 +1,318 @@
+//! Closed-form best-fit rigid alignment between corresponding point sets.
+//!
+//! This implements the computationally cheap transform-estimation method of
+//! Section 4.3.1: translation is taken between the centers of mass of the
+//! shared point sets, the rotation angle is the closed-form minimizer
+//! obtained from the cross-covariances
+//! `[C_xu + C_yv, C_xv − C_yu] · [sin θ, cos θ]^T = 0`, and the reflection
+//! factor `f ∈ {1, −1}` is chosen by comparing the resulting errors.
+//!
+//! The same routine serves two roles in the workspace:
+//!
+//! 1. the pairwise local-coordinate-system transform of **distributed LSS**
+//!    (source = neighbor's local map, target = own local map), and
+//! 2. the **evaluation alignment** of every experiment, where "computed
+//!    coordinates were translated, rotated and flipped to achieve a best-fit
+//!    match with the actual node coordinates" (Section 4.2.2).
+
+use crate::{centroid, GeomError, Point2, Result, RigidTransform, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of fitting a rigid transform `T` with `T(source[i]) ≈ target[i]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlignmentFit {
+    /// The fitted transform (source frame → target frame).
+    pub transform: RigidTransform,
+    /// Sum of squared residuals after alignment.
+    pub sse: f64,
+    /// Root-mean-square residual after alignment.
+    pub rmse: f64,
+    /// Per-point residual distances after alignment.
+    pub residuals: Vec<f64>,
+}
+
+impl AlignmentFit {
+    /// Mean residual distance (the paper's "average localization error"
+    /// when used for evaluation).
+    pub fn mean_residual(&self) -> f64 {
+        if self.residuals.is_empty() {
+            0.0
+        } else {
+            self.residuals.iter().sum::<f64>() / self.residuals.len() as f64
+        }
+    }
+
+    /// Largest per-point residual.
+    pub fn max_residual(&self) -> f64 {
+        self.residuals.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Fits the rigid transform minimizing `Σ |T(source[i]) − target[i]|²`.
+///
+/// When `allow_reflection` is `true`, both reflection factors are tried and
+/// the better one kept (the paper always allows reflection, because a local
+/// LSS map is only determined up to a flip).
+///
+/// # Errors
+///
+/// * [`GeomError::LengthMismatch`] if the slices differ in length,
+/// * [`GeomError::TooFewPoints`] with fewer than 2 points (the rotation is
+///   underdetermined),
+/// * [`GeomError::Degenerate`] when all source or all target points
+///   coincide, leaving the rotation angle undefined.
+///
+/// # Example
+///
+/// ```
+/// use rl_geom::{fit_rigid_transform, Point2, RigidTransform, Vec2};
+///
+/// let source = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.0, 2.0)];
+/// let hidden = RigidTransform::new(0.8, true, Vec2::new(3.0, -1.0));
+/// let target: Vec<Point2> = source.iter().map(|&p| hidden.apply(p)).collect();
+///
+/// let fit = fit_rigid_transform(&source, &target, true)?;
+/// assert!(fit.rmse < 1e-9);
+/// # Ok::<(), rl_geom::GeomError>(())
+/// ```
+pub fn fit_rigid_transform(
+    source: &[Point2],
+    target: &[Point2],
+    allow_reflection: bool,
+) -> Result<AlignmentFit> {
+    if source.len() != target.len() {
+        return Err(GeomError::LengthMismatch {
+            left: source.len(),
+            right: target.len(),
+        });
+    }
+    if source.len() < 2 {
+        return Err(GeomError::TooFewPoints {
+            needed: 2,
+            got: source.len(),
+        });
+    }
+    let mu_src = centroid(source).expect("non-empty");
+    let mu_tgt = centroid(target).expect("non-empty");
+
+    let spread = |pts: &[Point2], mu: Point2| pts.iter().map(|p| p.distance_sq(mu)).sum::<f64>();
+    if spread(source, mu_src) < 1e-18 || spread(target, mu_tgt) < 1e-18 {
+        return Err(GeomError::Degenerate("all points coincide"));
+    }
+
+    let factors: &[f64] = if allow_reflection { &[1.0, -1.0] } else { &[1.0] };
+    let mut best: Option<AlignmentFit> = None;
+
+    for &f in factors {
+        // Centered coordinates; the reflection factor acts on the source's
+        // second coordinate (matching `RigidTransform`'s convention).
+        let centered: Vec<(Vec2, Vec2)> = source
+            .iter()
+            .zip(target)
+            .map(|(&s, &t)| {
+                let sc = s - mu_src;
+                let tc = t - mu_tgt;
+                (Vec2::new(sc.x, f * sc.y), tc)
+            })
+            .collect();
+
+        // Cross-covariance sums between target (x, y) and f-adjusted source
+        // (u, v). Our transform applies x = c·u + s·v, y = −s·u + c·v; the
+        // stationarity condition is s·(S_xu − S_yv) = c·(S_xv + S_yu) ...
+        // derive: minimize Σ (c·u + s·v − x)² + (−s·u + c·v − y)².
+        // dE/dθ = 0  ⇔  s·(S_xu + S_yv) + c·(−S_xv + S_yu) = 0
+        //         ⇔  θ = atan2(S_xv − S_yu, S_xu + S_yv)  (up to π).
+        let (mut sxu, mut sxv, mut syu, mut syv) = (0.0, 0.0, 0.0, 0.0);
+        for &(sv, tv) in &centered {
+            sxu += tv.x * sv.x;
+            sxv += tv.x * sv.y;
+            syu += tv.y * sv.x;
+            syv += tv.y * sv.y;
+        }
+        let theta0 = (sxv - syu).atan2(sxu + syv);
+
+        // Both θ and θ+π satisfy the stationarity equation; evaluate both.
+        for theta in [theta0, theta0 + core::f64::consts::PI] {
+            let linear = RigidTransform::new(theta, f < 0.0, Vec2::ZERO);
+            let t = mu_tgt.to_vec() - linear.apply(mu_src).to_vec();
+            let candidate = RigidTransform::new(theta, f < 0.0, t);
+            let residuals: Vec<f64> = source
+                .iter()
+                .zip(target)
+                .map(|(&s, &t)| candidate.apply(s).distance(t))
+                .collect();
+            let sse: f64 = residuals.iter().map(|r| r * r).sum();
+            if best.as_ref().is_none_or(|b| sse < b.sse) {
+                let rmse = (sse / residuals.len() as f64).sqrt();
+                best = Some(AlignmentFit {
+                    transform: candidate,
+                    sse,
+                    rmse,
+                    residuals,
+                });
+            }
+        }
+    }
+
+    Ok(best.expect("at least one candidate evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square() -> Vec<Point2> {
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ]
+    }
+
+    #[test]
+    fn identity_when_already_aligned() {
+        let pts = square();
+        let fit = fit_rigid_transform(&pts, &pts, true).unwrap();
+        assert!(fit.rmse < 1e-12);
+        assert!(fit.sse < 1e-20);
+        assert!(fit.mean_residual() < 1e-12);
+        let p = Point2::new(0.5, 0.5);
+        assert!(fit.transform.apply(p).distance(p) < 1e-9);
+    }
+
+    #[test]
+    fn recovers_pure_translation() {
+        let src = square();
+        let shift = Vec2::new(10.0, -3.0);
+        let tgt: Vec<Point2> = src.iter().map(|&p| p + shift).collect();
+        let fit = fit_rigid_transform(&src, &tgt, true).unwrap();
+        assert!(fit.rmse < 1e-12);
+        assert!((fit.transform.translation_vec() - shift).norm() < 1e-9);
+        assert!(!fit.transform.is_reflected());
+    }
+
+    #[test]
+    fn recovers_rotation_translation() {
+        let src = square();
+        let hidden = RigidTransform::new(1.1, false, Vec2::new(-4.0, 2.0));
+        let tgt: Vec<Point2> = src.iter().map(|&p| hidden.apply(p)).collect();
+        let fit = fit_rigid_transform(&src, &tgt, true).unwrap();
+        assert!(fit.rmse < 1e-10, "rmse {}", fit.rmse);
+        assert!(!fit.transform.is_reflected());
+    }
+
+    #[test]
+    fn recovers_reflection() {
+        let src = square();
+        let hidden = RigidTransform::new(-0.4, true, Vec2::new(1.0, 7.0));
+        let tgt: Vec<Point2> = src.iter().map(|&p| hidden.apply(p)).collect();
+        let fit = fit_rigid_transform(&src, &tgt, true).unwrap();
+        assert!(fit.rmse < 1e-10, "rmse {}", fit.rmse);
+        assert!(fit.transform.is_reflected());
+    }
+
+    #[test]
+    fn reflection_disallowed_fits_worse() {
+        let src = square();
+        let hidden = RigidTransform::new(0.3, true, Vec2::ZERO);
+        let tgt: Vec<Point2> = src.iter().map(|&p| hidden.apply(p)).collect();
+        let with = fit_rigid_transform(&src, &tgt, true).unwrap();
+        let without = fit_rigid_transform(&src, &tgt, false).unwrap();
+        assert!(with.rmse < 1e-10);
+        assert!(without.rmse > 0.1, "rmse {}", without.rmse);
+        assert!(!without.transform.is_reflected());
+    }
+
+    #[test]
+    fn noisy_fit_close_to_truth() {
+        let src = square();
+        let hidden = RigidTransform::new(2.0, false, Vec2::new(5.0, 5.0));
+        // Perturb targets slightly and check the fit error stays small.
+        let tgt: Vec<Point2> = src
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let q = hidden.apply(p);
+                Point2::new(q.x + 0.01 * (i as f64 - 1.5), q.y - 0.01 * (i as f64 - 1.5))
+            })
+            .collect();
+        let fit = fit_rigid_transform(&src, &tgt, true).unwrap();
+        assert!(fit.rmse < 0.05, "rmse {}", fit.rmse);
+        assert!(fit.max_residual() < 0.1);
+    }
+
+    #[test]
+    fn error_cases() {
+        let pts = square();
+        assert!(matches!(
+            fit_rigid_transform(&pts, &pts[..3], true),
+            Err(GeomError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            fit_rigid_transform(&pts[..1], &pts[..1], true),
+            Err(GeomError::TooFewPoints { .. })
+        ));
+        let same = vec![Point2::new(1.0, 1.0); 4];
+        assert!(matches!(
+            fit_rigid_transform(&same, &pts, true),
+            Err(GeomError::Degenerate(_))
+        ));
+        assert!(matches!(
+            fit_rigid_transform(&pts, &same, true),
+            Err(GeomError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn two_point_fit_is_exact() {
+        let src = [Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        let hidden = RigidTransform::new(0.9, false, Vec2::new(2.0, 2.0));
+        let tgt: Vec<Point2> = src.iter().map(|&p| hidden.apply(p)).collect();
+        let fit = fit_rigid_transform(&src, &tgt, true).unwrap();
+        assert!(fit.rmse < 1e-10);
+    }
+
+    proptest! {
+        /// Fitting exactly transformed points recovers a zero-residual fit
+        /// for any hidden rigid transform and any non-degenerate point set.
+        #[test]
+        fn prop_exact_recovery(
+            theta in -3.1f64..3.1,
+            reflected in proptest::bool::ANY,
+            tx in -50.0f64..50.0,
+            ty in -50.0f64..50.0,
+            pts in proptest::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 3..20),
+        ) {
+            let source: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            // Ensure non-degenerate spread.
+            let mu = centroid(&source).unwrap();
+            prop_assume!(source.iter().map(|p| p.distance_sq(mu)).sum::<f64>() > 1e-6);
+            let hidden = RigidTransform::new(theta, reflected, Vec2::new(tx, ty));
+            let target: Vec<Point2> = source.iter().map(|&p| hidden.apply(p)).collect();
+            let fit = fit_rigid_transform(&source, &target, true).unwrap();
+            prop_assert!(fit.rmse < 1e-7, "rmse {}", fit.rmse);
+        }
+
+        /// The fitted transform is never worse than plain centroid
+        /// translation.
+        #[test]
+        fn prop_at_least_as_good_as_translation(
+            pairs in proptest::collection::vec(
+                ((-20.0f64..20.0, -20.0f64..20.0), (-20.0f64..20.0, -20.0f64..20.0)), 3..15),
+        ) {
+            let source: Vec<Point2> = pairs.iter().map(|&((x, y), _)| Point2::new(x, y)).collect();
+            let target: Vec<Point2> = pairs.iter().map(|&(_, (x, y))| Point2::new(x, y)).collect();
+            let ms = centroid(&source).unwrap();
+            let mt = centroid(&target).unwrap();
+            prop_assume!(source.iter().map(|p| p.distance_sq(ms)).sum::<f64>() > 1e-6);
+            prop_assume!(target.iter().map(|p| p.distance_sq(mt)).sum::<f64>() > 1e-6);
+            let fit = fit_rigid_transform(&source, &target, true).unwrap();
+            let translation_sse: f64 = source.iter().zip(&target)
+                .map(|(&s, &t)| ((s - ms) - (t - mt)).norm_sq())
+                .sum();
+            prop_assert!(fit.sse <= translation_sse + 1e-9);
+        }
+    }
+}

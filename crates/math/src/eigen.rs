@@ -1,0 +1,352 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+//!
+//! Classical multidimensional scaling extracts node coordinates from the two
+//! dominant eigenpairs of a double-centered squared-distance matrix; the
+//! [`SymmetricEigen`] solver below provides them without any external linear
+//! algebra dependency. The cyclic Jacobi method is simple, numerically robust
+//! for symmetric input, and easily fast enough for the network sizes in the
+//! paper (n ≤ a few hundred).
+
+use crate::{DMatrix, MathError, Result};
+
+/// Eigendecomposition of a real symmetric matrix, eigenvalues sorted in
+/// descending order.
+///
+/// # Example
+///
+/// ```
+/// use rl_math::{DMatrix, SymmetricEigen};
+///
+/// let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+/// let eig = SymmetricEigen::new(&a).unwrap();
+/// assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    /// Column `k` of this matrix is the eigenvector for `eigenvalues[k]`.
+    eigenvectors: DMatrix,
+}
+
+/// Maximum number of full Jacobi sweeps before declaring failure.
+const MAX_SWEEPS: usize = 100;
+/// Off-diagonal Frobenius mass below which the matrix counts as diagonal.
+const CONVERGENCE_EPS: f64 = 1e-12;
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of symmetric matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MathError::NotSquare`] if `a` is rectangular.
+    /// * [`MathError::InvalidArgument`] if `a` is not symmetric
+    ///   (tolerance `1e-9` on the worst element pair) or is empty.
+    /// * [`MathError::NoConvergence`] if Jacobi sweeps fail to drive the
+    ///   off-diagonal mass below tolerance (does not happen for finite
+    ///   symmetric input in practice).
+    pub fn new(a: &DMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MathError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(MathError::InvalidArgument("empty matrix"));
+        }
+        if a.asymmetry()? > 1e-9 {
+            return Err(MathError::InvalidArgument("matrix is not symmetric"));
+        }
+
+        let mut m = a.clone();
+        let mut v = DMatrix::identity(n);
+        let scale = a.frobenius_norm().max(1.0);
+
+        let mut sweeps = 0;
+        loop {
+            let off = off_diagonal_norm(&m);
+            if off <= CONVERGENCE_EPS * scale {
+                break;
+            }
+            if sweeps >= MAX_SWEEPS {
+                return Err(MathError::NoConvergence {
+                    sweeps,
+                    off_diagonal: off,
+                });
+            }
+            sweeps += 1;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    rotate(&mut m, &mut v, p, q);
+                }
+            }
+        }
+
+        // Sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+        let eigenvalues: Vec<f64> = order.iter().map(|&k| m[(k, k)]).collect();
+        let mut eigenvectors = DMatrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for row in 0..n {
+                eigenvectors[(row, new_col)] = v[(row, old_col)];
+            }
+        }
+
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Matrix whose column `k` is the unit eigenvector of `eigenvalues()[k]`.
+    pub fn eigenvectors(&self) -> &DMatrix {
+        &self.eigenvectors
+    }
+
+    /// Returns the eigenvector for the `k`-th largest eigenvalue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn eigenvector(&self, k: usize) -> Vec<f64> {
+        self.eigenvectors.col(k)
+    }
+
+    /// Principal-coordinate embedding: the first `dims` eigenvectors, each
+    /// scaled by `sqrt(max(eigenvalue, 0))`.
+    ///
+    /// This is the classical-MDS configuration matrix: row `i` holds the
+    /// `dims`-dimensional coordinates of point `i`. Negative eigenvalues
+    /// (which arise when the input distances are non-Euclidean, e.g. noisy
+    /// measurements) are clamped to zero, as is standard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` exceeds the matrix dimension.
+    pub fn principal_coordinates(&self, dims: usize) -> DMatrix {
+        let n = self.eigenvalues.len();
+        assert!(dims <= n, "requested {dims} dims from an {n}x{n} matrix");
+        DMatrix::from_fn(n, dims, |i, k| {
+            let lambda = self.eigenvalues[k].max(0.0);
+            self.eigenvectors[(i, k)] * lambda.sqrt()
+        })
+    }
+}
+
+fn off_diagonal_norm(m: &DMatrix) -> f64 {
+    let n = m.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    sum.sqrt()
+}
+
+/// One Jacobi rotation zeroing `m[(p, q)]`, accumulating into `v`.
+fn rotate(m: &mut DMatrix, v: &mut DMatrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    if apq.abs() < f64::MIN_POSITIVE {
+        return;
+    }
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let theta = (aqq - app) / (2.0 * apq);
+    // Stable tangent computation (Golub & Van Loan).
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    let n = m.rows();
+    for k in 0..n {
+        let mkp = m[(k, p)];
+        let mkq = m[(k, q)];
+        m[(k, p)] = c * mkp - s * mkq;
+        m[(k, q)] = s * mkp + c * mkq;
+    }
+    for k in 0..n {
+        let mpk = m[(p, k)];
+        let mqk = m[(q, k)];
+        m[(p, k)] = c * mpk - s * mqk;
+        m[(q, k)] = s * mpk + c * mqk;
+    }
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reconstruct(eig: &SymmetricEigen) -> DMatrix {
+        // A = V * diag(lambda) * V^T
+        let n = eig.eigenvalues().len();
+        let v = eig.eigenvectors();
+        let mut lambda = DMatrix::zeros(n, n);
+        for i in 0..n {
+            lambda[(i, i)] = eig.eigenvalues()[i];
+        }
+        v.mul(&lambda).unwrap().mul(&v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = DMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-12);
+        assert!((eig.eigenvalues()[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known_eigenvalues() {
+        let a = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 3.0).abs() < 1e-10);
+        assert!((eig.eigenvalues()[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+        let v0 = eig.eigenvector(0);
+        assert!((v0[0].abs() - core::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_asymmetric_input() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!(matches!(
+            SymmetricEigen::new(&a),
+            Err(MathError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular_and_empty() {
+        assert!(matches!(
+            SymmetricEigen::new(&DMatrix::zeros(2, 3)),
+            Err(MathError::NotSquare { .. })
+        ));
+        assert!(SymmetricEigen::new(&DMatrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DMatrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let v = eig.eigenvectors();
+        let vtv = v.transpose().mul(v).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expected).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = DMatrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let r = reconstruct(&eig);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn principal_coordinates_of_rank_one_gram() {
+        // Gram matrix of centered collinear points -8/3, 1/3, 7/3.
+        let xs = [-8.0 / 3.0, 1.0 / 3.0, 7.0 / 3.0];
+        let g = DMatrix::from_fn(3, 3, |i, j| xs[i] * xs[j]);
+        let eig = SymmetricEigen::new(&g).unwrap();
+        let coords = eig.principal_coordinates(2);
+        // Second dimension should be ~0; first recovers xs up to sign.
+        let sign = if coords[(0, 0)] * xs[0] >= 0.0 { 1.0 } else { -1.0 };
+        for i in 0..3 {
+            assert!((sign * coords[(i, 0)] - xs[i]).abs() < 1e-9);
+            assert!(coords[(i, 1)].abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn principal_coordinates_rejects_excess_dims() {
+        let eig = SymmetricEigen::new(&DMatrix::identity(2)).unwrap();
+        let _ = eig.principal_coordinates(3);
+    }
+
+    proptest! {
+        /// Any random symmetric matrix decomposes and reconstructs.
+        #[test]
+        fn prop_reconstruction(seed_vals in proptest::collection::vec(-10.0f64..10.0, 15)) {
+            // Build a 5x5 symmetric matrix from 15 free entries.
+            let n = 5;
+            let mut a = DMatrix::zeros(n, n);
+            let mut it = seed_vals.iter();
+            for i in 0..n {
+                for j in i..n {
+                    let v = *it.next().unwrap();
+                    a[(i, j)] = v;
+                    a[(j, i)] = v;
+                }
+            }
+            let eig = SymmetricEigen::new(&a).unwrap();
+            let r = reconstruct(&eig);
+            let scale = a.frobenius_norm().max(1.0);
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-8 * scale);
+                }
+            }
+            // Eigenvalues sorted descending.
+            for w in eig.eigenvalues().windows(2) {
+                prop_assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+
+        /// Trace is preserved (sum of eigenvalues == trace of A).
+        #[test]
+        fn prop_trace_preserved(diag in proptest::collection::vec(-5.0f64..5.0, 4)) {
+            let n = diag.len();
+            let mut a = DMatrix::zeros(n, n);
+            for i in 0..n {
+                a[(i, i)] = diag[i];
+                if i + 1 < n {
+                    a[(i, i + 1)] = 0.5;
+                    a[(i + 1, i)] = 0.5;
+                }
+            }
+            let eig = SymmetricEigen::new(&a).unwrap();
+            let trace: f64 = diag.iter().sum();
+            let lambda_sum: f64 = eig.eigenvalues().iter().sum();
+            prop_assert!((trace - lambda_sum).abs() < 1e-9);
+        }
+    }
+}

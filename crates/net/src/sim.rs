@@ -1,0 +1,503 @@
+//! The discrete-event loop: per-node state machines exchanging messages.
+//!
+//! Nodes implement the [`Node`] trait; the [`Simulator`] owns one state
+//! machine per sensor node, delivers broadcast/unicast messages according to
+//! the [`crate::RadioModel`] and the disk topology, and fires
+//! timers. Everything is deterministic given the seed.
+
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rl_geom::Point2;
+
+use crate::{NetError, NodeId, RadioModel, Result, Topology};
+
+/// A per-node protocol state machine.
+pub trait Node {
+    /// Message type exchanged by this protocol.
+    type Msg: Clone + core::fmt::Debug;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, api: &mut Api<'_, Self::Msg>);
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, api: &mut Api<'_, Self::Msg>);
+
+    /// Called when a timer set via [`Api::set_timer`] fires.
+    fn on_timer(&mut self, timer: u64, api: &mut Api<'_, Self::Msg>) {
+        let _ = (timer, api);
+    }
+}
+
+/// The side-effect interface handed to node callbacks.
+#[derive(Debug)]
+pub struct Api<'a, M> {
+    now: f64,
+    me: NodeId,
+    actions: &'a mut Vec<Action<M>>,
+}
+
+impl<M> Api<'_, M> {
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The id of the node being called.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Broadcasts a message to every radio neighbor (lossy).
+    pub fn broadcast(&mut self, msg: M) {
+        self.actions.push(Action::Broadcast(msg));
+    }
+
+    /// Sends a message to one radio neighbor (lossy; silently dropped if
+    /// `to` is out of radio range).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send(to, msg));
+    }
+
+    /// Schedules `on_timer(id)` on this node after `delay_s` seconds.
+    pub fn set_timer(&mut self, delay_s: f64, id: u64) {
+        self.actions.push(Action::Timer(delay_s.max(0.0), id));
+    }
+}
+
+#[derive(Debug)]
+enum Action<M> {
+    Broadcast(M),
+    Send(NodeId, M),
+    Timer(f64, u64),
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Start(NodeId),
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, id: u64 },
+}
+
+struct Scheduled<M> {
+    time: f64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first,
+        // with the sequence number as a deterministic tie-breaker.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite event times")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Statistics of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Events processed (starts + deliveries + timers).
+    pub events: usize,
+    /// Messages delivered to a node.
+    pub delivered: usize,
+    /// Messages lost to radio loss.
+    pub dropped: usize,
+}
+
+/// The discrete-event simulator.
+///
+/// # Example
+///
+/// ```
+/// use rl_net::{Api, Node, NodeId, RadioModel, Simulator};
+/// use rl_geom::Point2;
+///
+/// /// Every node broadcasts a ping once; everyone counts pings heard.
+/// struct Ping { heard: usize }
+/// impl Node for Ping {
+///     type Msg = ();
+///     fn on_start(&mut self, api: &mut Api<'_, ()>) { api.broadcast(()); }
+///     fn on_message(&mut self, _from: NodeId, _msg: (), _api: &mut Api<'_, ()>) {
+///         self.heard += 1;
+///     }
+/// }
+///
+/// let positions = vec![Point2::new(0.0, 0.0), Point2::new(5.0, 0.0)];
+/// let nodes = vec![Ping { heard: 0 }, Ping { heard: 0 }];
+/// let mut sim = Simulator::new(nodes, &positions, RadioModel::ideal(10.0), 42);
+/// sim.run().unwrap();
+/// assert_eq!(sim.node(NodeId(0)).heard, 1);
+/// assert_eq!(sim.node(NodeId(1)).heard, 1);
+/// ```
+pub struct Simulator<N: Node> {
+    nodes: Vec<N>,
+    topology: Topology,
+    radio: RadioModel,
+    queue: BinaryHeap<Scheduled<N::Msg>>,
+    time: f64,
+    seq: u64,
+    rng: StdRng,
+    event_budget: usize,
+    stats: SimStats,
+}
+
+impl<N: Node> Simulator<N> {
+    /// Creates a simulator over nodes placed at `positions`, connected by
+    /// the disk radio model, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` and `positions` differ in length or the radio
+    /// model is invalid.
+    pub fn new(nodes: Vec<N>, positions: &[Point2], radio: RadioModel, seed: u64) -> Self {
+        assert_eq!(
+            nodes.len(),
+            positions.len(),
+            "one position per node required"
+        );
+        radio.validate().expect("invalid radio model");
+        let topology = Topology::from_positions(positions, radio.range_m);
+        Simulator {
+            nodes,
+            topology,
+            radio,
+            queue: BinaryHeap::new(),
+            time: 0.0,
+            seq: 0,
+            rng: rl_math::rng::seeded(seed),
+            event_budget: 1_000_000,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Overrides the runaway-protocol event budget (builder style).
+    pub fn with_event_budget(mut self, budget: usize) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// The radio topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current simulation time, seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to a node's state machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over all node state machines.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Consumes the simulator, returning the node state machines.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+
+    fn schedule(&mut self, time: f64, kind: EventKind<N::Msg>) {
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Runs the simulation to completion: schedules `on_start` on every
+    /// node at time 0 and processes events until the queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::EventBudgetExhausted`] if the protocol does not
+    /// quiesce within the event budget.
+    pub fn run(&mut self) -> Result<SimStats> {
+        for i in 0..self.nodes.len() {
+            self.schedule(0.0, EventKind::Start(NodeId(i)));
+        }
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Result<SimStats> {
+        while let Some(ev) = self.queue.pop() {
+            if self.stats.events >= self.event_budget {
+                return Err(NetError::EventBudgetExhausted {
+                    budget: self.event_budget,
+                });
+            }
+            self.stats.events += 1;
+            self.time = self.time.max(ev.time);
+
+            let mut actions = Vec::new();
+            match ev.kind {
+                EventKind::Start(node) => {
+                    let mut api = Api {
+                        now: self.time,
+                        me: node,
+                        actions: &mut actions,
+                    };
+                    self.nodes[node.index()].on_start(&mut api);
+                    self.apply(node, actions);
+                }
+                EventKind::Deliver { to, from, msg } => {
+                    self.stats.delivered += 1;
+                    let mut api = Api {
+                        now: self.time,
+                        me: to,
+                        actions: &mut actions,
+                    };
+                    self.nodes[to.index()].on_message(from, msg, &mut api);
+                    self.apply(to, actions);
+                }
+                EventKind::Timer { node, id } => {
+                    let mut api = Api {
+                        now: self.time,
+                        me: node,
+                        actions: &mut actions,
+                    };
+                    self.nodes[node.index()].on_timer(id, &mut api);
+                    self.apply(node, actions);
+                }
+            }
+        }
+        Ok(self.stats)
+    }
+
+    fn apply(&mut self, origin: NodeId, actions: Vec<Action<N::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    let neighbors: Vec<NodeId> = self.topology.neighbors(origin).to_vec();
+                    for to in neighbors {
+                        self.transmit(origin, to, msg.clone());
+                    }
+                }
+                Action::Send(to, msg) => {
+                    if self.topology.are_neighbors(origin, to) {
+                        self.transmit(origin, to, msg);
+                    } else {
+                        self.stats.dropped += 1;
+                    }
+                }
+                Action::Timer(delay, id) => {
+                    self.schedule(self.time + delay, EventKind::Timer { node: origin, id });
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
+        if self.radio.delivered(&mut self.rng) {
+            let latency = self.radio.latency(&mut self.rng);
+            self.schedule(self.time + latency, EventKind::Deliver { to, from, msg });
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts pings; used by several tests.
+    struct Ping {
+        heard: usize,
+        sent: bool,
+    }
+
+    impl Ping {
+        fn new() -> Self {
+            Ping {
+                heard: 0,
+                sent: false,
+            }
+        }
+    }
+
+    impl Node for Ping {
+        type Msg = u32;
+        fn on_start(&mut self, api: &mut Api<'_, u32>) {
+            api.broadcast(7);
+            self.sent = true;
+        }
+        fn on_message(&mut self, _from: NodeId, msg: u32, _api: &mut Api<'_, u32>) {
+            assert_eq!(msg, 7);
+            self.heard += 1;
+        }
+    }
+
+    fn line_positions(n: usize, spacing: f64) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn broadcast_reaches_neighbors_only() {
+        let positions = line_positions(3, 8.0);
+        let nodes = vec![Ping::new(), Ping::new(), Ping::new()];
+        let mut sim = Simulator::new(nodes, &positions, RadioModel::ideal(10.0), 1);
+        let stats = sim.run().unwrap();
+        // Middle node hears both ends; ends hear only the middle.
+        assert_eq!(sim.node(NodeId(0)).heard, 1);
+        assert_eq!(sim.node(NodeId(1)).heard, 2);
+        assert_eq!(sim.node(NodeId(2)).heard, 1);
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.dropped, 0);
+        assert!(sim.time() > 0.0);
+    }
+
+    #[test]
+    fn unicast_respects_range() {
+        struct Sender;
+        impl Node for Sender {
+            type Msg = ();
+            fn on_start(&mut self, api: &mut Api<'_, ()>) {
+                api.send(NodeId(1), ()); // neighbor
+                api.send(NodeId(2), ()); // out of range -> dropped
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _a: &mut Api<'_, ()>) {}
+        }
+        let positions = line_positions(3, 8.0);
+        let mut sim = Simulator::new(
+            vec![Sender, Sender, Sender],
+            &positions,
+            RadioModel::ideal(10.0),
+            2,
+        );
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.dropped, 3); // each node's far send fails
+        assert_eq!(stats.delivered, 3);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timed {
+            fired: Vec<u64>,
+        }
+        impl Node for Timed {
+            type Msg = ();
+            fn on_start(&mut self, api: &mut Api<'_, ()>) {
+                api.set_timer(0.3, 3);
+                api.set_timer(0.1, 1);
+                api.set_timer(0.2, 2);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _a: &mut Api<'_, ()>) {}
+            fn on_timer(&mut self, id: u64, _api: &mut Api<'_, ()>) {
+                self.fired.push(id);
+            }
+        }
+        let mut sim = Simulator::new(
+            vec![Timed { fired: vec![] }],
+            &[Point2::ORIGIN],
+            RadioModel::ideal(10.0),
+            3,
+        );
+        sim.run().unwrap();
+        assert_eq!(sim.node(NodeId(0)).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lossy_radio_drops_messages() {
+        let positions = line_positions(2, 5.0);
+        let radio = RadioModel {
+            loss_probability: 1.0,
+            ..RadioModel::mica2()
+        };
+        let mut sim = Simulator::new(vec![Ping::new(), Ping::new()], &positions, radio, 4);
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(sim.node(NodeId(0)).heard, 0);
+    }
+
+    #[test]
+    fn event_budget_stops_runaway_protocols() {
+        /// Echoes every message back forever.
+        struct Echo;
+        impl Node for Echo {
+            type Msg = ();
+            fn on_start(&mut self, api: &mut Api<'_, ()>) {
+                api.broadcast(());
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), api: &mut Api<'_, ()>) {
+                api.broadcast(());
+            }
+        }
+        let positions = line_positions(2, 5.0);
+        let mut sim = Simulator::new(vec![Echo, Echo], &positions, RadioModel::ideal(10.0), 5)
+            .with_event_budget(500);
+        let err = sim.run().unwrap_err();
+        assert_eq!(err, NetError::EventBudgetExhausted { budget: 500 });
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let positions = line_positions(5, 8.0);
+            let nodes = (0..5).map(|_| Ping::new()).collect();
+            let mut sim = Simulator::new(
+                nodes,
+                &positions,
+                RadioModel {
+                    loss_probability: 0.3,
+                    ..RadioModel::mica2()
+                },
+                seed,
+            );
+            sim.run().unwrap();
+            sim.iter().map(|(_, n)| n.heard).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn into_nodes_returns_all_state() {
+        let positions = line_positions(2, 5.0);
+        let mut sim = Simulator::new(
+            vec![Ping::new(), Ping::new()],
+            &positions,
+            RadioModel::ideal(10.0),
+            6,
+        );
+        sim.run().unwrap();
+        let nodes = sim.into_nodes();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes.iter().all(|n| n.sent));
+    }
+
+    #[test]
+    #[should_panic(expected = "one position per node")]
+    fn mismatched_positions_panic() {
+        let _ = Simulator::new(vec![Ping::new()], &[], RadioModel::ideal(1.0), 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Connectivity graphs over node positions.
+//!
+//! Localization algorithms care about two graphs: the *radio* graph (who
+//! can exchange messages) and the *ranging* graph (who has distance
+//! measurements to whom). Both are undirected neighbor structures;
+//! [`Topology`] serves either role.
+
+use crate::NodeId;
+use rl_geom::Point2;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected neighbor graph over `n` nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds the disk graph: nodes are neighbors when within `range_m`.
+    pub fn from_positions(positions: &[Point2], range_m: f64) -> Self {
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].distance(positions[j]) <= range_m {
+                    neighbors[i].push(NodeId(j));
+                    neighbors[j].push(NodeId(i));
+                }
+            }
+        }
+        Topology { neighbors }
+    }
+
+    /// Builds a topology from an explicit undirected edge list.
+    ///
+    /// Duplicate and self edges are ignored.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut neighbors = vec![Vec::new(); n];
+        for (a, b) in edges {
+            if a == b || a.index() >= n || b.index() >= n {
+                continue;
+            }
+            if !neighbors[a.index()].contains(&b) {
+                neighbors[a.index()].push(b);
+                neighbors[b.index()].push(a);
+            }
+        }
+        Topology { neighbors }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The neighbors of `node` (empty slice for unknown nodes).
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        self.neighbors
+            .get(node.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Whether `a` and `b` are direct neighbors.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).contains(&b)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Mean node degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.neighbors.iter().map(Vec::len).sum::<usize>() as f64 / self.len() as f64
+    }
+
+    /// Breadth-first hop counts from `root`; unreachable nodes get `None`.
+    pub fn hop_counts(&self, root: NodeId) -> Vec<Option<usize>> {
+        let mut hops = vec![None; self.len()];
+        if root.index() >= self.len() {
+            return hops;
+        }
+        hops[root.index()] = Some(0);
+        let mut queue = VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            let d = hops[u.index()].expect("visited");
+            for &v in self.neighbors(u) {
+                if hops[v.index()].is_none() {
+                    hops[v.index()] = Some(d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        hops
+    }
+
+    /// Whether every node is reachable from node 0 (trivially true for
+    /// empty topologies).
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.hop_counts(NodeId(0)).iter().all(Option::is_some)
+    }
+
+    /// Connected components as sorted lists of node ids.
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.len()];
+        let mut out = Vec::new();
+        for start in 0..self.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([NodeId(start)]);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for &v in self.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort();
+            out.push(comp);
+        }
+        out
+    }
+
+    /// All-pairs shortest-path distances along edges weighted by `weight`,
+    /// via repeated Dijkstra. `None` marks unreachable pairs.
+    ///
+    /// Used by the MDS-MAP baseline, which completes a sparse distance
+    /// matrix with shortest-path distances.
+    pub fn shortest_paths(&self, weight: impl Fn(NodeId, NodeId) -> f64) -> Vec<Vec<Option<f64>>> {
+        let n = self.len();
+        let mut all = vec![vec![None; n]; n];
+        for (src, row) in all.iter_mut().enumerate() {
+            // Dijkstra with a binary heap of (cost, node).
+            let mut dist: Vec<f64> = vec![f64::INFINITY; n];
+            dist[src] = 0.0;
+            let mut heap = std::collections::BinaryHeap::new();
+            heap.push(HeapEntry {
+                cost: 0.0,
+                node: NodeId(src),
+            });
+            while let Some(HeapEntry { cost, node }) = heap.pop() {
+                if cost > dist[node.index()] {
+                    continue;
+                }
+                for &next in self.neighbors(node) {
+                    let w = weight(node, next);
+                    debug_assert!(w >= 0.0, "negative edge weight");
+                    let cand = cost + w;
+                    if cand < dist[next.index()] {
+                        dist[next.index()] = cand;
+                        heap.push(HeapEntry {
+                            cost: cand,
+                            node: next,
+                        });
+                    }
+                }
+            }
+            for (j, d) in dist.iter().enumerate() {
+                if d.is_finite() {
+                    row[j] = Some(*d);
+                }
+            }
+        }
+        all
+    }
+}
+
+/// Min-heap entry for Dijkstra (reversed ordering on cost).
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reverse: smallest cost pops first.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line(n: usize, spacing: f64, range: f64) -> Topology {
+        let positions: Vec<Point2> =
+            (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect();
+        Topology::from_positions(&positions, range)
+    }
+
+    #[test]
+    fn disk_graph_edges() {
+        let t = line(3, 8.0, 10.0);
+        assert!(t.are_neighbors(NodeId(0), NodeId(1)));
+        assert!(!t.are_neighbors(NodeId(0), NodeId(2)));
+        assert_eq!(t.edge_count(), 2);
+        assert!((t.average_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_edges_ignores_junk() {
+        let t = Topology::from_edges(
+            3,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(0)), // duplicate
+                (NodeId(2), NodeId(2)), // self edge
+                (NodeId(0), NodeId(9)), // out of range
+            ],
+        );
+        assert_eq!(t.edge_count(), 1);
+        assert!(t.are_neighbors(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn hop_counts_on_a_line() {
+        let t = line(5, 8.0, 10.0);
+        let hops = t.hop_counts(NodeId(0));
+        assert_eq!(hops, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn hop_counts_from_invalid_root() {
+        let t = line(3, 8.0, 10.0);
+        assert!(t.hop_counts(NodeId(99)).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let connected = line(4, 8.0, 10.0);
+        assert!(connected.is_connected());
+        assert_eq!(connected.components().len(), 1);
+
+        let split = line(4, 8.0, 7.0); // spacing exceeds range
+        assert!(!split.is_connected());
+        assert_eq!(split.components().len(), 4);
+
+        assert!(Topology::from_positions(&[], 5.0).is_connected());
+        assert!(Topology::from_positions(&[], 5.0).is_empty());
+    }
+
+    #[test]
+    fn shortest_paths_on_line_sum_spacings() {
+        let t = line(4, 8.0, 10.0);
+        let sp = t.shortest_paths(|_, _| 8.0);
+        assert_eq!(sp[0][3], Some(24.0));
+        assert_eq!(sp[3][0], Some(24.0));
+        assert_eq!(sp[1][1], Some(0.0));
+    }
+
+    #[test]
+    fn shortest_paths_unreachable_is_none() {
+        let t = line(4, 8.0, 7.0);
+        let sp = t.shortest_paths(|_, _| 1.0);
+        assert_eq!(sp[0][1], None);
+        assert_eq!(sp[0][0], Some(0.0));
+    }
+
+    #[test]
+    fn shortest_paths_prefers_cheap_route() {
+        // Triangle where direct edge is expensive: 0-1 (10), 0-2 (1), 2-1 (1).
+        let t = Topology::from_edges(
+            3,
+            [(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2)), (NodeId(2), NodeId(1))],
+        );
+        let sp = t.shortest_paths(|a, b| {
+            if (a.index().min(b.index()), a.index().max(b.index())) == (0, 1) {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(sp[0][1], Some(2.0));
+    }
+
+    proptest! {
+        /// Hop counts are symmetric for undirected graphs built from
+        /// positions: hops(a)[b] == hops(b)[a].
+        #[test]
+        fn prop_hops_symmetric(
+            pts in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 2..20),
+            range in 5.0f64..40.0,
+        ) {
+            let positions: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let t = Topology::from_positions(&positions, range);
+            let a = NodeId(0);
+            let b = NodeId(positions.len() - 1);
+            prop_assert_eq!(t.hop_counts(a)[b.index()], t.hop_counts(b)[a.index()]);
+        }
+
+        /// Shortest paths satisfy the triangle inequality.
+        #[test]
+        fn prop_shortest_paths_triangle(
+            pts in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 3..12),
+            range in 10.0f64..60.0,
+        ) {
+            let positions: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let t = Topology::from_positions(&positions, range);
+            let sp = t.shortest_paths(|a, b| positions[a.index()].distance(positions[b.index()]));
+            let n = positions.len();
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        if let (Some(ij), Some(ik), Some(kj)) = (sp[i][j], sp[i][k], sp[k][j]) {
+                            prop_assert!(ij <= ik + kj + 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

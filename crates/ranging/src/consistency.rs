@@ -1,0 +1,298 @@
+//! Consistency checking across measurements.
+//!
+//! "The ranging service employs consistency checks to identify measurements
+//! containing errors that may be correlated on a single node (e.g., errors
+//! due to faulty hardware or persistent wide-band noise). … bidirectional
+//! range estimates between a pair of nodes are discarded if they are
+//! inconsistent. If three nodes have measurements to each other, we use the
+//! triangle inequality to identify inconsistent one." (Section 3.5)
+
+use rl_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::measurement::MeasurementSet;
+
+/// How to merge directed estimates into undirected pair distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BidirectionalPolicy {
+    /// Keep a pair only when both directions measured it *and* they agree
+    /// within tolerance (the strict check behind Figure 7).
+    RequireBoth,
+    /// Keep agreeing bidirectional pairs and pairs measured in one
+    /// direction only (the paper's parking-lot experiment had "one-way
+    /// measurement data"; "sometimes it may be beneficial to retain
+    /// suspicious measurements due to the scarcity of available data").
+    AcceptOneWay,
+}
+
+/// Configuration of the consistency pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyConfig {
+    /// Maximum |d_ij − d_ji| for a bidirectional pair to be accepted,
+    /// meters.
+    pub bidirectional_tolerance_m: f64,
+    /// Merge policy for one-way measurements.
+    pub policy: BidirectionalPolicy,
+}
+
+impl Default for ConsistencyConfig {
+    fn default() -> Self {
+        ConsistencyConfig {
+            bidirectional_tolerance_m: 1.0,
+            policy: BidirectionalPolicy::AcceptOneWay,
+        }
+    }
+}
+
+/// Merges per-directed-pair estimates into an undirected
+/// [`MeasurementSet`], applying the bidirectional consistency check.
+///
+/// Agreeing bidirectional pairs contribute the mean of the two directions.
+///
+/// # Panics
+///
+/// Panics if any node id in `directed` is `>= n`.
+pub fn merge_bidirectional(
+    directed: &BTreeMap<(NodeId, NodeId), f64>,
+    n: usize,
+    config: &ConsistencyConfig,
+) -> MeasurementSet {
+    let mut set = MeasurementSet::new(n);
+    for (&(from, to), &d_fwd) in directed {
+        // Process each undirected pair once, from its smaller endpoint.
+        if from.index() > to.index() {
+            continue;
+        }
+        let reverse = directed.get(&(to, from)).copied();
+        match reverse {
+            Some(d_rev) => {
+                if (d_fwd - d_rev).abs() <= config.bidirectional_tolerance_m {
+                    set.insert(from, to, 0.5 * (d_fwd + d_rev));
+                }
+                // Disagreeing directions: drop the pair entirely.
+            }
+            None => {
+                if config.policy == BidirectionalPolicy::AcceptOneWay {
+                    set.insert(from, to, d_fwd);
+                }
+            }
+        }
+    }
+    // One-way pairs stored under the larger-first key.
+    for (&(from, to), &d) in directed {
+        if from.index() < to.index() {
+            continue;
+        }
+        if directed.contains_key(&(to, from)) {
+            continue; // already handled above
+        }
+        if config.policy == BidirectionalPolicy::AcceptOneWay {
+            set.insert(from, to, d);
+        }
+    }
+    set
+}
+
+/// A triangle-inequality violation: the long edge of a triple whose other
+/// two sides sum to less than it ("the estimates of two sides of the
+/// triangle add up to less than the third").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriangleViolation {
+    /// The suspiciously long edge.
+    pub long_edge: (NodeId, NodeId),
+    /// The third node of the violating triangle.
+    pub witness: NodeId,
+    /// Violation size: `d_long − (d_a + d_b)` in meters.
+    pub excess_m: f64,
+}
+
+/// Finds every triangle-inequality violation among fully measured triples,
+/// with a slack tolerance in meters.
+pub fn triangle_violations(set: &MeasurementSet, tolerance_m: f64) -> Vec<TriangleViolation> {
+    let n = set.node_count();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let Some(dij) = set.get(NodeId(i), NodeId(j)) else {
+                continue;
+            };
+            for k in (j + 1)..n {
+                let (Some(dik), Some(djk)) = (set.get(NodeId(i), NodeId(k)), set.get(NodeId(j), NodeId(k)))
+                else {
+                    continue;
+                };
+                // Identify the longest edge and test it against the others.
+                let mut edges = [
+                    (dij, (NodeId(i), NodeId(j)), NodeId(k)),
+                    (dik, (NodeId(i), NodeId(k)), NodeId(j)),
+                    (djk, (NodeId(j), NodeId(k)), NodeId(i)),
+                ];
+                edges.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
+                let (longest, long_edge, witness) = edges[0];
+                let others = edges[1].0 + edges[2].0;
+                if longest > others + tolerance_m {
+                    out.push(TriangleViolation {
+                        long_edge,
+                        witness,
+                        excess_m: longest - others,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Removes edges implicated as the long side of at least `min_votes`
+/// triangle violations. Returns the removed edges.
+///
+/// The paper notes no check can identify the wrong measurement with
+/// certainty; requiring multiple votes implements the "retain suspicious
+/// measurements when data is scarce" caveat.
+pub fn drop_triangle_violators(
+    set: &mut MeasurementSet,
+    tolerance_m: f64,
+    min_votes: usize,
+) -> Vec<(NodeId, NodeId)> {
+    let violations = triangle_violations(set, tolerance_m);
+    let mut votes: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
+    for v in &violations {
+        *votes.entry(v.long_edge).or_insert(0) += 1;
+    }
+    let mut removed = Vec::new();
+    for (edge, count) in votes {
+        if count >= min_votes && set.remove(edge.0, edge.1).is_some() {
+            removed.push(edge);
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn directed(entries: &[((usize, usize), f64)]) -> BTreeMap<(NodeId, NodeId), f64> {
+        entries
+            .iter()
+            .map(|&((a, b), d)| ((id(a), id(b)), d))
+            .collect()
+    }
+
+    #[test]
+    fn agreeing_bidirectional_pair_is_averaged() {
+        let d = directed(&[((0, 1), 10.2), ((1, 0), 9.8)]);
+        let set = merge_bidirectional(&d, 2, &ConsistencyConfig::default());
+        assert_eq!(set.get(id(0), id(1)), Some(10.0));
+    }
+
+    #[test]
+    fn disagreeing_bidirectional_pair_is_dropped() {
+        let d = directed(&[((0, 1), 10.0), ((1, 0), 14.0)]);
+        let cfg = ConsistencyConfig::default();
+        let set = merge_bidirectional(&d, 2, &cfg);
+        assert_eq!(set.get(id(0), id(1)), None);
+        // Even under AcceptOneWay: disagreement is worse than absence.
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn one_way_policy_controls_retention() {
+        let d = directed(&[((0, 1), 10.0), ((2, 1), 7.0)]);
+        let strict = merge_bidirectional(
+            &d,
+            3,
+            &ConsistencyConfig {
+                policy: BidirectionalPolicy::RequireBoth,
+                ..ConsistencyConfig::default()
+            },
+        );
+        assert!(strict.is_empty());
+        let lenient = merge_bidirectional(&d, 3, &ConsistencyConfig::default());
+        assert_eq!(lenient.get(id(0), id(1)), Some(10.0));
+        assert_eq!(lenient.get(id(1), id(2)), Some(7.0));
+        assert_eq!(lenient.len(), 2);
+    }
+
+    #[test]
+    fn one_way_stored_under_either_orientation() {
+        // (2, 0): from > to exercises the second loop.
+        let d = directed(&[((2, 0), 8.0)]);
+        let set = merge_bidirectional(&d, 3, &ConsistencyConfig::default());
+        assert_eq!(set.get(id(0), id(2)), Some(8.0));
+    }
+
+    fn triangle_set(dij: f64, dik: f64, djk: f64) -> MeasurementSet {
+        let mut set = MeasurementSet::new(3);
+        set.insert(id(0), id(1), dij);
+        set.insert(id(0), id(2), dik);
+        set.insert(id(1), id(2), djk);
+        set
+    }
+
+    #[test]
+    fn valid_triangle_has_no_violations() {
+        let set = triangle_set(3.0, 4.0, 5.0);
+        assert!(triangle_violations(&set, 0.1).is_empty());
+    }
+
+    #[test]
+    fn violating_triangle_flags_long_edge() {
+        // 1 + 2 < 10: the 10 m edge is the suspect.
+        let set = triangle_set(10.0, 1.0, 2.0);
+        let vs = triangle_violations(&set, 0.1);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].long_edge, (id(0), id(1)));
+        assert_eq!(vs[0].witness, id(2));
+        assert!((vs[0].excess_m - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_spares_borderline_triangles() {
+        let set = triangle_set(5.2, 2.0, 3.0);
+        assert!(triangle_violations(&set, 0.5).is_empty());
+        assert_eq!(triangle_violations(&set, 0.1).len(), 1);
+    }
+
+    #[test]
+    fn incomplete_triples_are_ignored() {
+        let mut set = MeasurementSet::new(3);
+        set.insert(id(0), id(1), 100.0);
+        set.insert(id(1), id(2), 1.0);
+        // No 0-2 edge: no triangle to test.
+        assert!(triangle_violations(&set, 0.1).is_empty());
+    }
+
+    #[test]
+    fn drop_violators_removes_voted_edges() {
+        // Node 3 sits near node 0; edge 0-1 is wildly overestimated and is
+        // the long edge in triangles (0,1,2) and (0,1,3).
+        let mut set = MeasurementSet::new(4);
+        set.insert(id(0), id(1), 20.0); // bad edge (true ~5)
+        set.insert(id(0), id(2), 3.0);
+        set.insert(id(1), id(2), 4.0);
+        set.insert(id(0), id(3), 2.0);
+        set.insert(id(1), id(3), 5.0);
+        let removed = drop_triangle_violators(&mut set, 0.5, 2);
+        assert_eq!(removed, vec![(id(0), id(1))]);
+        assert_eq!(set.get(id(0), id(1)), None);
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn drop_violators_respects_min_votes() {
+        let mut set = triangle_set(10.0, 1.0, 2.0);
+        // Only one violating triangle: below the two-vote threshold.
+        let removed = drop_triangle_violators(&mut set, 0.1, 2);
+        assert!(removed.is_empty());
+        assert_eq!(set.len(), 3);
+        // With min_votes = 1 it goes.
+        let removed = drop_triangle_violators(&mut set, 0.1, 1);
+        assert_eq!(removed.len(), 1);
+    }
+}

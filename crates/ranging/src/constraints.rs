@@ -1,0 +1,246 @@
+//! Deployment-constraint filtering (§3.5.1).
+//!
+//! "Some sensor network deployments offer additional information about
+//! sensor placement. … On a regular grid deployment, a set of possible
+//! inter-node distances can be deduced from the size and shape of the grid
+//! configuration. These data provide additional constraints that
+//! consistent ranging measurements should satisfy." The paper leaves this
+//! as future work; this module implements it: a [`DistanceCatalog`] of
+//! plausible inter-node distances derived from the deployment pattern,
+//! used to flag or discard measurements that cannot correspond to any
+//! legal node pair.
+
+use rl_geom::Point2;
+use rl_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::MeasurementSet;
+
+/// The set of inter-node distances a deployment geometry can produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceCatalog {
+    /// Sorted plausible distances, meters (deduplicated within
+    /// `merge_tolerance`).
+    distances: Vec<f64>,
+    /// Tolerance used both for deduplication and for membership tests.
+    tolerance_m: f64,
+}
+
+impl DistanceCatalog {
+    /// Builds the catalog from the planned deployment geometry, keeping
+    /// distances up to `max_range_m` (beyond the ranging service's reach
+    /// nothing can be measured anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance_m` is not positive.
+    pub fn from_layout(positions: &[Point2], max_range_m: f64, tolerance_m: f64) -> Self {
+        assert!(tolerance_m > 0.0, "tolerance must be positive");
+        let mut distances = Vec::new();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                let d = positions[i].distance(positions[j]);
+                if d <= max_range_m {
+                    distances.push(d);
+                }
+            }
+        }
+        distances.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        // Merge near-duplicates (a 7x7 grid has only a handful of distinct
+        // inter-node distances).
+        let mut merged: Vec<f64> = Vec::new();
+        for d in distances {
+            match merged.last() {
+                Some(&last) if d - last <= tolerance_m => {}
+                _ => merged.push(d),
+            }
+        }
+        DistanceCatalog {
+            distances: merged,
+            tolerance_m,
+        }
+    }
+
+    /// The distinct plausible distances.
+    pub fn distances(&self) -> &[f64] {
+        &self.distances
+    }
+
+    /// The nearest catalog distance to `measured`, if any lies within
+    /// `slack_m`.
+    pub fn nearest_within(&self, measured: f64, slack_m: f64) -> Option<f64> {
+        // Binary search for the insertion point, inspect neighbors.
+        let idx = self
+            .distances
+            .partition_point(|&d| d < measured);
+        let mut best: Option<f64> = None;
+        for k in idx.saturating_sub(1)..=(idx.min(self.distances.len().saturating_sub(1))) {
+            if let Some(&d) = self.distances.get(k) {
+                if (d - measured).abs() <= slack_m
+                    && best.is_none_or(|b: f64| (d - measured).abs() < (b - measured).abs())
+                {
+                    best = Some(d);
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether `measured` is consistent with some plausible distance,
+    /// within `slack_m`.
+    pub fn is_plausible(&self, measured: f64, slack_m: f64) -> bool {
+        self.nearest_within(measured, slack_m).is_some()
+    }
+
+    /// Removes every measurement not within `slack_m` of a plausible
+    /// distance; returns the removed pairs.
+    pub fn filter(&self, set: &mut MeasurementSet, slack_m: f64) -> Vec<(NodeId, NodeId, f64)> {
+        let implausible: Vec<(NodeId, NodeId, f64)> = set
+            .iter()
+            .filter(|&(_, _, d)| !self.is_plausible(d, slack_m))
+            .collect();
+        for &(a, b, _) in &implausible {
+            set.remove(a, b);
+        }
+        implausible
+    }
+
+    /// Snaps every measurement to the nearest plausible distance when one
+    /// lies within `slack_m` (a stronger use of the prior: the deployment
+    /// pattern *defines* the achievable distances); measurements with no
+    /// nearby plausible distance are left untouched. Returns the number of
+    /// snapped measurements.
+    pub fn snap(&self, set: &mut MeasurementSet, slack_m: f64) -> usize {
+        let snappable: Vec<(NodeId, NodeId, f64, f64)> = set
+            .iter()
+            .filter_map(|(a, b, d)| {
+                self.nearest_within(d, slack_m)
+                    .filter(|&snap| (snap - d).abs() > f64::EPSILON)
+                    .map(|snap| (a, b, d, snap))
+            })
+            .collect();
+        let count = snappable.len();
+        for (a, b, _, snap) in snappable {
+            set.insert(a, b, snap);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_geom::Point2;
+
+    fn grid_positions() -> Vec<Point2> {
+        rl_deploy_like_grid(3, 3, 9.0)
+    }
+
+    fn rl_deploy_like_grid(nx: usize, ny: usize, spacing: f64) -> Vec<Point2> {
+        (0..nx * ny)
+            .map(|i| Point2::new((i % nx) as f64 * spacing, (i / nx) as f64 * spacing))
+            .collect()
+    }
+
+    #[test]
+    fn catalog_of_a_grid_is_small() {
+        let catalog = DistanceCatalog::from_layout(&grid_positions(), 30.0, 0.05);
+        // 3x3 grid at 9 m: distances 9, 12.73, 18, 20.12, 25.46.
+        assert_eq!(catalog.distances().len(), 5, "{:?}", catalog.distances());
+        assert!((catalog.distances()[0] - 9.0).abs() < 1e-9);
+        assert!((catalog.distances()[1] - 12.728).abs() < 1e-2);
+    }
+
+    #[test]
+    fn max_range_prunes_catalog() {
+        let catalog = DistanceCatalog::from_layout(&grid_positions(), 15.0, 0.05);
+        assert_eq!(catalog.distances().len(), 2); // 9 and 12.73 only
+    }
+
+    #[test]
+    fn plausibility_and_nearest() {
+        let catalog = DistanceCatalog::from_layout(&grid_positions(), 30.0, 0.05);
+        assert!(catalog.is_plausible(9.2, 0.5));
+        assert!(!catalog.is_plausible(10.8, 0.5)); // between 9 and 12.73
+        assert_eq!(catalog.nearest_within(12.5, 0.5), catalog.distances().get(1).copied());
+        assert_eq!(catalog.nearest_within(50.0, 0.5), None);
+        assert_eq!(catalog.nearest_within(0.0, 0.5), None);
+    }
+
+    #[test]
+    fn filter_removes_implausible_measurements() {
+        let positions = grid_positions();
+        let catalog = DistanceCatalog::from_layout(&positions, 30.0, 0.05);
+        let mut set = MeasurementSet::new(9);
+        set.insert(NodeId(0), NodeId(1), 9.15); // plausible (9.0)
+        set.insert(NodeId(0), NodeId(4), 12.60); // plausible (12.73)
+        set.insert(NodeId(0), NodeId(2), 4.0); // echo-style: nothing near 4 m
+        set.insert(NodeId(3), NodeId(5), 21.5); // between 20.12 and 25.46
+        let removed = catalog.filter(&mut set, 0.5);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(NodeId(0), NodeId(1)));
+        assert!(!set.contains(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn snap_moves_measurements_onto_catalog() {
+        let positions = grid_positions();
+        let catalog = DistanceCatalog::from_layout(&positions, 30.0, 0.05);
+        let mut set = MeasurementSet::new(9);
+        set.insert(NodeId(0), NodeId(1), 9.3);
+        set.insert(NodeId(0), NodeId(2), 4.0); // unsnappable
+        let snapped = catalog.snap(&mut set, 0.5);
+        assert_eq!(snapped, 1);
+        assert!((set.get(NodeId(0), NodeId(1)).unwrap() - 9.0).abs() < 1e-9);
+        assert_eq!(set.get(NodeId(0), NodeId(2)), Some(4.0));
+    }
+
+    #[test]
+    fn snapping_improves_localization_on_grids() {
+        // End-to-end: noisy grid measurements, localize with and without
+        // the deployment prior.
+        let positions = rl_deploy_like_grid(4, 4, 9.0);
+        let catalog = DistanceCatalog::from_layout(&positions, 25.0, 0.05);
+        let mut rng = rl_math::rng::seeded(42);
+        let mut noisy = MeasurementSet::new(16);
+        for i in 0..16usize {
+            for j in (i + 1)..16 {
+                let d = positions[i].distance(positions[j]);
+                if d <= 25.0 {
+                    let m = (d + rl_math::rng::normal(&mut rng, 0.0, 0.33)).max(0.1);
+                    noisy.insert(NodeId(i), NodeId(j), m);
+                }
+            }
+        }
+        let mut snapped = noisy.clone();
+        let snap_count = catalog.snap(&mut snapped, 1.0);
+        assert!(snap_count > 40, "snapped {snap_count}");
+        // Snapped distances are exactly the truth for inliers, so the
+        // residual sum against truth must shrink.
+        let residual = |set: &MeasurementSet| -> f64 {
+            set.iter()
+                .map(|(a, b, d)| (d - positions[a.index()].distance(positions[b.index()])).abs())
+                .sum()
+        };
+        assert!(
+            residual(&snapped) < 0.3 * residual(&noisy),
+            "snapping should shrink residuals: {} vs {}",
+            residual(&snapped),
+            residual(&noisy)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn zero_tolerance_panics() {
+        let _ = DistanceCatalog::from_layout(&grid_positions(), 30.0, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let catalog = DistanceCatalog::from_layout(&grid_positions(), 30.0, 0.05);
+        let json = serde_json::to_string(&catalog).unwrap();
+        assert_eq!(serde_json::from_str::<DistanceCatalog>(&json).unwrap(), catalog);
+    }
+}

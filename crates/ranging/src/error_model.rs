@@ -1,0 +1,315 @@
+//! Fast empirical ranging error model.
+//!
+//! The sample-level acoustic simulation in [`crate::service`] is faithful
+//! but costly (tens of millions of Bernoulli draws per campaign). Large
+//! parameter sweeps and the localization-focused experiments only need the
+//! *distribution* of ranging outcomes, which the paper characterizes
+//! precisely (Section 3.6.1):
+//!
+//! * detection probability decays with distance (none beyond the
+//!   environment's maximum range),
+//! * a zero-mean bell-shaped error core within ±30 cm,
+//! * a small population of over-estimates clustered to the right (late
+//!   detection of attenuated signals), growing with distance,
+//! * rare large-magnitude outliers (noise, echoes, faulty hardware), up to
+//!   ±11 m, more frequent at longer range.
+//!
+//! [`EmpiricalRangingModel`] samples from exactly that mixture.
+
+use rand::Rng;
+use rl_geom::Point2;
+use rl_net::NodeId;
+use rl_signal::env::Environment;
+use serde::{Deserialize, Serialize};
+
+use crate::measurement::MeasurementSet;
+
+/// Parametric model of one environment's ranging behavior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalRangingModel {
+    /// Detection probability at close range.
+    pub p_detect_near: f64,
+    /// Distance at which detection probability halves, meters.
+    pub half_range_m: f64,
+    /// Sigmoid roll-off width, meters.
+    pub rolloff_m: f64,
+    /// No detections beyond this distance, meters.
+    pub max_range_m: f64,
+    /// Standard deviation of the zero-mean error core, meters.
+    pub sigma_core_m: f64,
+    /// Probability that a detection at close range is an outlier.
+    pub p_outlier_near: f64,
+    /// Additional outlier probability at `max_range_m` (linear growth in
+    /// between; "large-magnitude errors occur more frequently when
+    /// measuring over a longer distance").
+    pub p_outlier_far: f64,
+    /// Fraction of outliers that are underestimates (echo/noise before the
+    /// signal); the rest are late-detection overestimates.
+    pub underestimate_fraction: f64,
+    /// Maximum overestimate excess, meters (≈ chirp length ≈ 3 m for 8 ms
+    /// chirps).
+    pub overestimate_max_m: f64,
+}
+
+impl EmpiricalRangingModel {
+    /// Canned parameters per environment, calibrated against the
+    /// sample-level simulator and the paper's reported figures.
+    pub fn from_environment(env: Environment) -> Self {
+        match env {
+            Environment::Grass => EmpiricalRangingModel {
+                p_detect_near: 0.93,
+                half_range_m: 13.0,
+                rolloff_m: 2.0,
+                max_range_m: 20.0,
+                sigma_core_m: 0.15,
+                p_outlier_near: 0.03,
+                p_outlier_far: 0.10,
+                underestimate_fraction: 0.45,
+                overestimate_max_m: 3.0,
+            },
+            Environment::Pavement => EmpiricalRangingModel {
+                p_detect_near: 0.97,
+                half_range_m: 30.0,
+                rolloff_m: 4.0,
+                max_range_m: 50.0,
+                sigma_core_m: 0.12,
+                p_outlier_near: 0.03,
+                p_outlier_far: 0.08,
+                underestimate_fraction: 0.5,
+                overestimate_max_m: 3.0,
+            },
+            Environment::Urban => EmpiricalRangingModel {
+                p_detect_near: 0.95,
+                half_range_m: 27.0,
+                rolloff_m: 4.0,
+                max_range_m: 45.0,
+                sigma_core_m: 0.15,
+                p_outlier_near: 0.10,
+                p_outlier_far: 0.25,
+                underestimate_fraction: 0.75,
+                overestimate_max_m: 8.0,
+            },
+            Environment::Wooded => EmpiricalRangingModel {
+                p_detect_near: 0.85,
+                half_range_m: 8.0,
+                rolloff_m: 1.8,
+                max_range_m: 14.0,
+                sigma_core_m: 0.20,
+                p_outlier_near: 0.06,
+                p_outlier_far: 0.15,
+                underestimate_fraction: 0.5,
+                overestimate_max_m: 3.0,
+            },
+        }
+    }
+
+    /// Detection probability at distance `d`.
+    pub fn p_detect(&self, d: f64) -> f64 {
+        if d >= self.max_range_m {
+            return 0.0;
+        }
+        let x = (d - self.half_range_m) / self.rolloff_m;
+        self.p_detect_near / (1.0 + x.exp())
+    }
+
+    /// Outlier probability at distance `d` (conditional on detection).
+    pub fn p_outlier(&self, d: f64) -> f64 {
+        let t = (d / self.max_range_m).clamp(0.0, 1.0);
+        self.p_outlier_near + (self.p_outlier_far - self.p_outlier_near) * t
+    }
+
+    /// Samples one directed measurement at true distance `d`; `None` means
+    /// no detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) on negative distances.
+    pub fn measure<R: Rng + ?Sized>(&self, d: f64, rng: &mut R) -> Option<f64> {
+        debug_assert!(d >= 0.0, "negative distance");
+        if rng.random::<f64>() >= self.p_detect(d) {
+            return None;
+        }
+        let value = if rng.random::<f64>() < self.p_outlier(d) {
+            if rng.random::<f64>() < self.underestimate_fraction {
+                // Echo/noise locked before the true signal: uniform over
+                // the pre-signal interval, at least one meter short.
+                let max_under = (d - 1.0).max(0.2);
+                rng.random::<f64>() * max_under
+            } else {
+                // Late detection: up to a chirp length beyond the truth.
+                d + 1.0 + rng.random::<f64>() * (self.overestimate_max_m - 1.0).max(0.0)
+            }
+        } else {
+            // Core: zero-mean Gaussian with a mild distance-growing
+            // rightward skew (attenuated early samples detected late).
+            let skew = 0.04 * (d / self.half_range_m);
+            rl_math::rng::normal(rng, skew, self.sigma_core_m) + d
+        };
+        Some(value.max(0.0))
+    }
+
+    /// Measures every ordered pair of a deployment once and merges
+    /// same-pair results by averaging, producing a [`MeasurementSet`].
+    ///
+    /// This shortcut skips filtering/consistency — it is the "clean-ish
+    /// field data" generator for localization experiments.
+    pub fn measure_deployment<R: Rng + ?Sized>(
+        &self,
+        positions: &[Point2],
+        rng: &mut R,
+    ) -> MeasurementSet {
+        let n = positions.len();
+        let mut set = MeasurementSet::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = positions[i].distance(positions[j]);
+                let fwd = self.measure(d, rng);
+                let rev = self.measure(d, rng);
+                let merged = match (fwd, rev) {
+                    (Some(a), Some(b)) => Some(0.5 * (a + b)),
+                    (Some(a), None) | (None, Some(a)) => Some(a),
+                    (None, None) => None,
+                };
+                if let Some(m) = merged {
+                    set.insert(NodeId(i), NodeId(j), m);
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_math::rng::seeded;
+
+    #[test]
+    fn detection_probability_shape() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Grass);
+        assert!(m.p_detect(2.0) > 0.85);
+        assert!(m.p_detect(13.0) < m.p_detect(5.0));
+        assert_eq!(m.p_detect(20.0), 0.0);
+        assert_eq!(m.p_detect(25.0), 0.0);
+    }
+
+    #[test]
+    fn outlier_rate_grows_with_distance() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Grass);
+        assert!(m.p_outlier(18.0) > m.p_outlier(3.0));
+        assert!((m.p_outlier(0.0) - m.p_outlier_near).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_errors_match_sigma() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Grass);
+        let mut rng = seeded(1);
+        let d = 8.0;
+        let errors: Vec<f64> = (0..8000)
+            .filter_map(|_| m.measure(d, &mut rng))
+            .map(|v| v - d)
+            .filter(|e| e.abs() < 0.9) // core only
+            .collect();
+        assert!(errors.len() > 6000);
+        let med = rl_math::stats::median_of(&errors).unwrap();
+        let sd = rl_math::stats::std_dev(&errors).unwrap();
+        assert!(med.abs() < 0.05, "median {med}");
+        assert!((sd - m.sigma_core_m).abs() < 0.06, "sd {sd}");
+    }
+
+    #[test]
+    fn urban_outliers_mostly_underestimate() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Urban);
+        let mut rng = seeded(2);
+        let d = 25.0;
+        let mut under = 0;
+        let mut over = 0;
+        for _ in 0..6000 {
+            if let Some(v) = m.measure(d, &mut rng) {
+                let e = v - d;
+                if e < -1.0 {
+                    under += 1;
+                } else if e > 1.0 {
+                    over += 1;
+                }
+            }
+        }
+        assert!(under > over, "urban: under {under} vs over {over}");
+        assert!(under > 100, "should see many underestimates, got {under}");
+    }
+
+    #[test]
+    fn overestimates_bounded_by_chirp_excess() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Grass);
+        let mut rng = seeded(3);
+        let d = 10.0;
+        for _ in 0..6000 {
+            if let Some(v) = m.measure(d, &mut rng) {
+                assert!(
+                    v - d <= m.overestimate_max_m + 1e-9,
+                    "overestimate {v} exceeds bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measurements_are_never_negative() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Wooded);
+        let mut rng = seeded(4);
+        for _ in 0..2000 {
+            if let Some(v) = m.measure(1.2, &mut rng) {
+                assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deployment_measurement_respects_range() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Grass);
+        let mut rng = seeded(5);
+        let positions = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(9.0, 0.0),
+            Point2::new(100.0, 0.0),
+        ];
+        let set = m.measure_deployment(&positions, &mut rng);
+        assert!(set.contains(NodeId(0), NodeId(1)));
+        assert!(!set.contains(NodeId(0), NodeId(2)));
+        assert!(!set.contains(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn deployment_graph_density_matches_probability() {
+        // At 9 m on grass, nearly every pair should be measured.
+        let m = EmpiricalRangingModel::from_environment(Environment::Grass);
+        let mut rng = seeded(6);
+        let positions: Vec<Point2> =
+            (0..12).map(|i| Point2::new((i % 4) as f64 * 9.0, (i / 4) as f64 * 9.0)).collect();
+        let set = m.measure_deployment(&positions, &mut rng);
+        // Adjacent pairs (9 m): 17 of them in a 4x3 grid.
+        let mut adjacent_measured = 0;
+        for i in 0..12usize {
+            for j in (i + 1)..12 {
+                if positions[i].distance(positions[j]) < 9.5 && set.contains(NodeId(i), NodeId(j))
+                {
+                    adjacent_measured += 1;
+                }
+            }
+        }
+        assert!(
+            adjacent_measured >= 15,
+            "only {adjacent_measured}/17 adjacent pairs measured"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = EmpiricalRangingModel::from_environment(Environment::Urban);
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(
+            serde_json::from_str::<EmpiricalRangingModel>(&json).unwrap(),
+            m
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Statistical filtering of repeated measurements.
+//!
+//! "Assuming that the errors are not correlated, we make multiple distance
+//! measurements for a pair of nodes and apply statistical filtering … we
+//! take the median or mode value of the measurements, which limits the
+//! effect of outliers. The mode operation is more resistant to the effects
+//! of uncorrelated outliers than the median, but it needs more measurements
+//! to be effective." (Section 3.5)
+
+use rl_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::measurement::RangingCampaign;
+
+/// Which statistical filter to apply to repeated measurements of a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StatFilter {
+    /// Keep the first measurement only (the unfiltered baseline).
+    None,
+    /// Median of all measurements of the pair.
+    Median,
+    /// Mode of all measurements, binned at the given width in meters.
+    Mode {
+        /// Histogram bin width, meters.
+        bin_width: f64,
+    },
+}
+
+impl StatFilter {
+    /// The paper's default mode binning (half-meter bins).
+    pub fn mode_default() -> Self {
+        StatFilter::Mode { bin_width: 0.5 }
+    }
+
+    /// Reduces repeated measurements of one pair to a single estimate.
+    ///
+    /// Returns `None` when the input is empty (or the filter cannot apply).
+    pub fn reduce(&self, measurements: &[f64]) -> Option<f64> {
+        match *self {
+            StatFilter::None => measurements.first().copied(),
+            StatFilter::Median => rl_math::stats::median_of(measurements),
+            StatFilter::Mode { bin_width } => rl_math::stats::mode_binned(measurements, bin_width),
+        }
+    }
+
+    /// Applies the filter to every directed pair of a campaign, producing
+    /// per-directed-pair estimates.
+    pub fn apply(&self, campaign: &RangingCampaign) -> BTreeMap<(NodeId, NodeId), f64> {
+        let mut out = BTreeMap::new();
+        for (pair, measurements) in campaign.by_directed_pair() {
+            if let Some(est) = self.reduce(&measurements) {
+                out.insert(pair, est);
+            }
+        }
+        out
+    }
+
+    /// Applies the filter using only the first `max_rounds` rounds of the
+    /// campaign (Figure 4 uses "median filtering of up to five
+    /// measurements").
+    pub fn apply_limited(
+        &self,
+        campaign: &RangingCampaign,
+        max_rounds: usize,
+    ) -> BTreeMap<(NodeId, NodeId), f64> {
+        let mut grouped: BTreeMap<(NodeId, NodeId), Vec<f64>> = BTreeMap::new();
+        for s in &campaign.samples {
+            if s.round < max_rounds {
+                grouped.entry((s.from, s.to)).or_default().push(s.measured_m);
+            }
+        }
+        grouped
+            .into_iter()
+            .filter_map(|(pair, ms)| self.reduce(&ms).map(|est| (pair, est)))
+            .collect()
+    }
+}
+
+impl Default for StatFilter {
+    fn default() -> Self {
+        StatFilter::Median
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measurement::DirectedSample;
+    use rl_geom::Point2;
+
+    fn id(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn reduce_none_takes_first() {
+        assert_eq!(StatFilter::None.reduce(&[5.0, 9.0]), Some(5.0));
+        assert_eq!(StatFilter::None.reduce(&[]), None);
+    }
+
+    #[test]
+    fn reduce_median_suppresses_outlier() {
+        let xs = [10.1, 9.9, 10.0, 3.0, 10.2];
+        let m = StatFilter::Median.reduce(&xs).unwrap();
+        assert!((m - 10.0).abs() < 0.15, "median {m}");
+    }
+
+    #[test]
+    fn reduce_mode_survives_multiple_outliers() {
+        // Two outliers out of six: the median shifts a little, the mode
+        // stays on the cluster.
+        let xs = [10.0, 10.1, 9.95, 10.05, 2.0, 2.1];
+        let mode = StatFilter::mode_default().reduce(&xs).unwrap();
+        assert!((mode - 10.02).abs() < 0.3, "mode {mode}");
+    }
+
+    fn toy_campaign() -> RangingCampaign {
+        let mk = |from: usize, to: usize, round: usize, d: f64| DirectedSample {
+            from: id(from),
+            to: id(to),
+            round,
+            measured_m: d,
+        };
+        RangingCampaign {
+            n: 2,
+            true_positions: vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)],
+            samples: vec![
+                mk(0, 1, 0, 10.1),
+                mk(0, 1, 1, 9.9),
+                mk(0, 1, 2, 25.0), // outlier in round 2
+                mk(1, 0, 0, 10.3),
+            ],
+        }
+    }
+
+    #[test]
+    fn apply_filters_each_directed_pair() {
+        let campaign = toy_campaign();
+        let medians = StatFilter::Median.apply(&campaign);
+        assert_eq!(medians.len(), 2);
+        assert!((medians[&(id(0), id(1))] - 10.1).abs() < 1e-12);
+        assert_eq!(medians[&(id(1), id(0))], 10.3);
+    }
+
+    #[test]
+    fn apply_limited_restricts_rounds() {
+        let campaign = toy_campaign();
+        let first_two = StatFilter::Median.apply_limited(&campaign, 2);
+        // Outlier was in round 2, so the two-round median is clean.
+        assert!((first_two[&(id(0), id(1))] - 10.0).abs() < 1e-12);
+        let all = StatFilter::Median.apply_limited(&campaign, 10);
+        assert!((all[&(id(0), id(1))] - 10.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_median() {
+        assert_eq!(StatFilter::default(), StatFilter::Median);
+    }
+}

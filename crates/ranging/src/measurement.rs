@@ -1,0 +1,532 @@
+//! Measurement data structures.
+//!
+//! Two layers of data come out of a ranging campaign:
+//!
+//! 1. [`RangingCampaign`] — every raw directed sample (`from` chirped, `to`
+//!    measured) per round, before any filtering; this is what statistical
+//!    filtering and consistency checking consume, and
+//! 2. [`MeasurementSet`] — the final sparse, undirected, weighted distance
+//!    graph handed to the localization algorithms. LSS explicitly tolerates
+//!    `D ⊆ D_full` (missing pairs), which this structure represents
+//!    natively.
+
+use rl_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One raw directed ranging sample: node `from` emitted the chirp train,
+/// node `to` measured `measured_m`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectedSample {
+    /// Chirping (source) node.
+    pub from: NodeId,
+    /// Receiving (measuring) node.
+    pub to: NodeId,
+    /// Measurement round index.
+    pub round: usize,
+    /// Measured distance, meters.
+    pub measured_m: f64,
+}
+
+/// All raw samples of one ranging campaign plus ground truth for
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangingCampaign {
+    /// Number of nodes in the deployment.
+    pub n: usize,
+    /// Ground-truth node positions (for evaluation only; the algorithms
+    /// never see them).
+    pub true_positions: Vec<rl_geom::Point2>,
+    /// Every successful directed measurement.
+    pub samples: Vec<DirectedSample>,
+}
+
+impl RangingCampaign {
+    /// True distance between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn true_distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.true_positions[a.index()].distance(self.true_positions[b.index()])
+    }
+
+    /// Signed error of one sample (measured − actual), meters.
+    pub fn error_of(&self, sample: &DirectedSample) -> f64 {
+        sample.measured_m - self.true_distance(sample.from, sample.to)
+    }
+
+    /// All signed errors, for histogramming (Figures 2, 6).
+    pub fn errors(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| self.error_of(s)).collect()
+    }
+
+    /// Groups samples by directed pair.
+    pub fn by_directed_pair(&self) -> BTreeMap<(NodeId, NodeId), Vec<f64>> {
+        let mut map: BTreeMap<(NodeId, NodeId), Vec<f64>> = BTreeMap::new();
+        for s in &self.samples {
+            map.entry((s.from, s.to)).or_default().push(s.measured_m);
+        }
+        map
+    }
+}
+
+/// Sparse undirected distance graph with per-edge weights.
+///
+/// Edges are stored once under the ordered key `(min, max)`; lookups accept
+/// either orientation. Weights default to 1 and feed LSS's weighted stress
+/// function `E_w`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(into = "MeasurementSetRepr", from = "MeasurementSetRepr")]
+pub struct MeasurementSet {
+    n: usize,
+    edges: BTreeMap<(usize, usize), Edge>,
+    adjacency: Vec<BTreeSet<usize>>,
+}
+
+/// JSON-friendly representation (tuple map keys are not valid JSON keys).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MeasurementSetRepr {
+    n: usize,
+    edges: Vec<(usize, usize, f64, f64)>,
+}
+
+impl From<MeasurementSet> for MeasurementSetRepr {
+    fn from(set: MeasurementSet) -> Self {
+        MeasurementSetRepr {
+            n: set.n,
+            edges: set
+                .edges
+                .iter()
+                .map(|(&(a, b), e)| (a, b, e.distance, e.weight))
+                .collect(),
+        }
+    }
+}
+
+impl From<MeasurementSetRepr> for MeasurementSet {
+    fn from(repr: MeasurementSetRepr) -> Self {
+        let mut set = MeasurementSet::new(repr.n);
+        for (a, b, d, w) in repr.edges {
+            set.insert_weighted(NodeId(a), NodeId(b), d, w);
+        }
+        set
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Edge {
+    distance: f64,
+    weight: f64,
+}
+
+impl MeasurementSet {
+    /// Creates an empty measurement set over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MeasurementSet {
+            n,
+            edges: BTreeMap::new(),
+            adjacency: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of measured pairs.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no pair has a measurement.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (usize, usize) {
+        let (x, y) = (a.index(), b.index());
+        (x.min(y), x.max(y))
+    }
+
+    /// Inserts (or replaces) the measured distance for a pair with weight 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`, either id is out of range, or the distance is
+    /// negative/not finite.
+    pub fn insert(&mut self, a: NodeId, b: NodeId, distance_m: f64) {
+        self.insert_weighted(a, b, distance_m, 1.0);
+    }
+
+    /// Inserts (or replaces) the measured distance with an explicit weight.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`MeasurementSet::insert`], plus non-positive
+    /// weights.
+    pub fn insert_weighted(&mut self, a: NodeId, b: NodeId, distance_m: f64, weight: f64) {
+        assert!(a != b, "self-distance for {a} is meaningless");
+        assert!(
+            a.index() < self.n && b.index() < self.n,
+            "node out of range: {a}, {b} (n = {})",
+            self.n
+        );
+        assert!(
+            distance_m.is_finite() && distance_m >= 0.0,
+            "distance must be finite and non-negative, got {distance_m}"
+        );
+        assert!(weight > 0.0, "weight must be positive, got {weight}");
+        self.edges.insert(
+            Self::key(a, b),
+            Edge {
+                distance: distance_m,
+                weight,
+            },
+        );
+        self.adjacency[a.index()].insert(b.index());
+        self.adjacency[b.index()].insert(a.index());
+    }
+
+    /// The measured distance for a pair, in either orientation.
+    pub fn get(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        self.edges.get(&Self::key(a, b)).map(|e| e.distance)
+    }
+
+    /// The weight of a measured pair.
+    pub fn weight(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        if a == b {
+            return None;
+        }
+        self.edges.get(&Self::key(a, b)).map(|e| e.weight)
+    }
+
+    /// Whether the pair has a measurement.
+    pub fn contains(&self, a: NodeId, b: NodeId) -> bool {
+        self.get(a, b).is_some()
+    }
+
+    /// Removes a pair's measurement; returns the removed distance.
+    pub fn remove(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
+        if a == b || a.index() >= self.n || b.index() >= self.n {
+            return None;
+        }
+        let removed = self.edges.remove(&Self::key(a, b)).map(|e| e.distance);
+        if removed.is_some() {
+            self.adjacency[a.index()].remove(&b.index());
+            self.adjacency[b.index()].remove(&a.index());
+        }
+        removed
+    }
+
+    /// Iterates over `(a, b, distance)` with `a < b`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.edges
+            .iter()
+            .map(|(&(a, b), e)| (NodeId(a), NodeId(b), e.distance))
+    }
+
+    /// Iterates over `(a, b, distance, weight)` with `a < b`.
+    pub fn iter_weighted(&self) -> impl Iterator<Item = (NodeId, NodeId, f64, f64)> + '_ {
+        self.edges
+            .iter()
+            .map(|(&(a, b), e)| (NodeId(a), NodeId(b), e.distance, e.weight))
+    }
+
+    /// Measured neighbors of `node` with distances.
+    pub fn neighbors_of(&self, node: NodeId) -> Vec<(NodeId, f64)> {
+        let Some(adj) = self.adjacency.get(node.index()) else {
+            return Vec::new();
+        };
+        adj.iter()
+            .map(|&j| {
+                let d = self
+                    .get(node, NodeId(j))
+                    .expect("adjacency is consistent with edges");
+                (NodeId(j), d)
+            })
+            .collect()
+    }
+
+    /// Node degree (number of measured neighbors).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency
+            .get(node.index())
+            .map(BTreeSet::len)
+            .unwrap_or(0)
+    }
+
+    /// Mean degree over all nodes.
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        2.0 * self.len() as f64 / self.n as f64
+    }
+
+    /// Extracts the sub-measurement-set induced by `nodes`; returns the set
+    /// (re-indexed `0..nodes.len()`) plus the mapping from new index to the
+    /// original [`NodeId`].
+    ///
+    /// Used by distributed LSS, where each node localizes only itself and
+    /// its ranging neighbors.
+    pub fn subgraph(&self, nodes: &[NodeId]) -> (MeasurementSet, Vec<NodeId>) {
+        let mapping: Vec<NodeId> = nodes.to_vec();
+        let index_of: BTreeMap<usize, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(new, old)| (old.index(), new))
+            .collect();
+        let mut sub = MeasurementSet::new(nodes.len());
+        for (a, b, d, w) in self.iter_weighted() {
+            if let (Some(&ia), Some(&ib)) = (index_of.get(&a.index()), index_of.get(&b.index())) {
+                sub.insert_weighted(NodeId(ia), NodeId(ib), d, w);
+            }
+        }
+        (sub, mapping)
+    }
+
+    /// The connectivity topology of the measurement graph.
+    pub fn topology(&self) -> rl_net::Topology {
+        rl_net::Topology::from_edges(
+            self.n,
+            self.edges.keys().map(|&(a, b)| (NodeId(a), NodeId(b))),
+        )
+    }
+
+    /// Builds the set of exact pairwise distances for all pairs closer than
+    /// `max_range` (an oracle measurement set, useful for tests and ideal
+    /// baselines).
+    pub fn oracle(positions: &[rl_geom::Point2], max_range: f64) -> Self {
+        let mut set = MeasurementSet::new(positions.len());
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                let d = positions[i].distance(positions[j]);
+                if d <= max_range {
+                    set.insert(NodeId(i), NodeId(j), d);
+                }
+            }
+        }
+        set
+    }
+}
+
+impl Extend<(NodeId, NodeId, f64)> for MeasurementSet {
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId, f64)>>(&mut self, iter: T) {
+        for (a, b, d) in iter {
+            self.insert(a, b, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rl_geom::Point2;
+
+    fn id(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn insert_get_either_orientation() {
+        let mut set = MeasurementSet::new(4);
+        set.insert(id(2), id(0), 5.5);
+        assert_eq!(set.get(id(0), id(2)), Some(5.5));
+        assert_eq!(set.get(id(2), id(0)), Some(5.5));
+        assert_eq!(set.get(id(0), id(1)), None);
+        assert_eq!(set.get(id(1), id(1)), None);
+        assert!(set.contains(id(0), id(2)));
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut set = MeasurementSet::new(2);
+        set.insert(id(0), id(1), 5.0);
+        set.insert(id(1), id(0), 6.0);
+        assert_eq!(set.get(id(0), id(1)), Some(6.0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn weights_default_and_explicit() {
+        let mut set = MeasurementSet::new(3);
+        set.insert(id(0), id(1), 5.0);
+        set.insert_weighted(id(1), id(2), 7.0, 0.25);
+        assert_eq!(set.weight(id(0), id(1)), Some(1.0));
+        assert_eq!(set.weight(id(2), id(1)), Some(0.25));
+        assert_eq!(set.weight(id(0), id(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-distance")]
+    fn self_edge_panics() {
+        MeasurementSet::new(2).insert(id(1), id(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        MeasurementSet::new(2).insert(id(0), id(5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn negative_distance_panics() {
+        MeasurementSet::new(2).insert(id(0), id(1), -1.0);
+    }
+
+    #[test]
+    fn remove_updates_adjacency() {
+        let mut set = MeasurementSet::new(3);
+        set.insert(id(0), id(1), 5.0);
+        set.insert(id(1), id(2), 6.0);
+        assert_eq!(set.degree(id(1)), 2);
+        assert_eq!(set.remove(id(1), id(0)), Some(5.0));
+        assert_eq!(set.remove(id(1), id(0)), None);
+        assert_eq!(set.degree(id(1)), 1);
+        assert_eq!(set.neighbors_of(id(1)), vec![(id(2), 6.0)]);
+        assert_eq!(set.remove(id(2), id(2)), None);
+    }
+
+    #[test]
+    fn neighbors_and_degrees() {
+        let mut set = MeasurementSet::new(4);
+        set.insert(id(0), id(1), 1.0);
+        set.insert(id(0), id(2), 2.0);
+        set.insert(id(0), id(3), 3.0);
+        let nbrs = set.neighbors_of(id(0));
+        assert_eq!(nbrs, vec![(id(1), 1.0), (id(2), 2.0), (id(3), 3.0)]);
+        assert_eq!(set.degree(id(0)), 3);
+        assert_eq!(set.degree(id(3)), 1);
+        assert!((set.average_degree() - 1.5).abs() < 1e-12);
+        assert!(set.neighbors_of(id(9)).is_empty());
+    }
+
+    #[test]
+    fn iter_orders_pairs() {
+        let mut set = MeasurementSet::new(3);
+        set.insert(id(2), id(1), 5.0);
+        set.insert(id(1), id(0), 4.0);
+        let pairs: Vec<_> = set.iter().collect();
+        assert_eq!(pairs, vec![(id(0), id(1), 4.0), (id(1), id(2), 5.0)]);
+        let weighted: Vec<_> = set.iter_weighted().collect();
+        assert_eq!(weighted[0], (id(0), id(1), 4.0, 1.0));
+    }
+
+    #[test]
+    fn subgraph_reindexes() {
+        let mut set = MeasurementSet::new(5);
+        set.insert(id(1), id(3), 7.0);
+        set.insert(id(3), id(4), 8.0);
+        set.insert(id(0), id(1), 9.0);
+        let (sub, mapping) = set.subgraph(&[id(1), id(3), id(4)]);
+        assert_eq!(mapping, vec![id(1), id(3), id(4)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get(id(0), id(1)), Some(7.0)); // 1-3 remapped
+        assert_eq!(sub.get(id(1), id(2)), Some(8.0)); // 3-4 remapped
+    }
+
+    #[test]
+    fn oracle_respects_max_range() {
+        let positions = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(40.0, 0.0),
+        ];
+        let set = MeasurementSet::oracle(&positions, 22.0);
+        assert_eq!(set.get(id(0), id(1)), Some(10.0));
+        assert_eq!(set.get(id(1), id(2)), None); // 30 m > 22 m
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn topology_reflects_edges() {
+        let mut set = MeasurementSet::new(3);
+        set.insert(id(0), id(1), 5.0);
+        let topo = set.topology();
+        assert!(topo.are_neighbors(id(0), id(1)));
+        assert!(!topo.are_neighbors(id(0), id(2)));
+    }
+
+    #[test]
+    fn extend_collects_tuples() {
+        let mut set = MeasurementSet::new(3);
+        set.extend([(id(0), id(1), 1.0), (id(1), id(2), 2.0)]);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn campaign_errors() {
+        let campaign = RangingCampaign {
+            n: 2,
+            true_positions: vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0)],
+            samples: vec![
+                DirectedSample {
+                    from: id(0),
+                    to: id(1),
+                    round: 0,
+                    measured_m: 10.4,
+                },
+                DirectedSample {
+                    from: id(1),
+                    to: id(0),
+                    round: 0,
+                    measured_m: 9.8,
+                },
+            ],
+        };
+        assert_eq!(campaign.true_distance(id(0), id(1)), 10.0);
+        let errs = campaign.errors();
+        assert!((errs[0] - 0.4).abs() < 1e-12);
+        assert!((errs[1] + 0.2).abs() < 1e-12);
+        let grouped = campaign.by_directed_pair();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[&(id(0), id(1))], vec![10.4]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut set = MeasurementSet::new(3);
+        set.insert_weighted(id(0), id(2), 5.0, 0.5);
+        let json = serde_json::to_string(&set).unwrap();
+        let back: MeasurementSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
+    }
+
+    proptest! {
+        /// Adjacency stays consistent with the edge map under arbitrary
+        /// insert/remove interleavings.
+        #[test]
+        fn prop_adjacency_consistent(ops in proptest::collection::vec(
+            (0usize..6, 0usize..6, proptest::bool::ANY, 0.1f64..50.0), 0..60)
+        ) {
+            let mut set = MeasurementSet::new(6);
+            for (a, b, is_insert, d) in ops {
+                if a == b { continue; }
+                if is_insert {
+                    set.insert(id(a), id(b), d);
+                } else {
+                    set.remove(id(a), id(b));
+                }
+            }
+            // Every adjacency entry has a matching edge and vice versa.
+            let mut count = 0;
+            for i in 0..6 {
+                for (j, d) in set.neighbors_of(id(i)) {
+                    prop_assert_eq!(set.get(id(i), j), Some(d));
+                    count += 1;
+                }
+            }
+            prop_assert_eq!(count, 2 * set.len());
+        }
+    }
+}
