@@ -51,8 +51,13 @@ fn bench_transform(c: &mut Criterion) {
     c.bench_function("distributed/transform_covariance_12shared", |b| {
         b.iter(|| {
             black_box(
-                estimate_transform(&source, &target, &TransformMethod::Covariance, &TransformGuards::default())
-                    .unwrap(),
+                estimate_transform(
+                    &source,
+                    &target,
+                    &TransformMethod::Covariance,
+                    &TransformGuards::default(),
+                )
+                .unwrap(),
             )
         })
     });
@@ -63,7 +68,12 @@ fn bench_transform(c: &mut Criterion) {
         ..DescentConfig::default()
     });
     c.bench_function("distributed/transform_minimization_12shared", |b| {
-        b.iter(|| black_box(estimate_transform(&source, &target, &minimization, &TransformGuards::default()).unwrap()))
+        b.iter(|| {
+            black_box(
+                estimate_transform(&source, &target, &minimization, &TransformGuards::default())
+                    .unwrap(),
+            )
+        })
     });
 }
 

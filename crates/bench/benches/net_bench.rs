@@ -22,9 +22,7 @@ fn bench_topology(c: &mut Criterion) {
 
     let topo = Topology::from_positions(&pts, 22.0);
     c.bench_function("net/shortest_paths_64_nodes", |b| {
-        b.iter(|| {
-            black_box(topo.shortest_paths(|a, b| pts[a.index()].distance(pts[b.index()])))
-        })
+        b.iter(|| black_box(topo.shortest_paths(|a, b| pts[a.index()].distance(pts[b.index()]))))
     });
 }
 

@@ -46,7 +46,13 @@ fn bench_campaign(c: &mut Criterion) {
     c.bench_function("campaign/bidirectional_merge", |b| {
         b.iter_batched(
             || estimates.clone(),
-            |e| black_box(merge_bidirectional(&e, campaign.n, &ConsistencyConfig::default())),
+            |e| {
+                black_box(merge_bidirectional(
+                    &e,
+                    campaign.n,
+                    &ConsistencyConfig::default(),
+                ))
+            },
             BatchSize::SmallInput,
         )
     });

@@ -15,34 +15,146 @@ type Runner = fn(u64) -> ExperimentResult;
 
 /// Every experiment, in presentation order.
 const EXPERIMENTS: &[(&str, &str, Runner)] = &[
-    ("F2", "baseline ranging errors, urban", experiments::ranging::figure2_baseline_urban),
-    ("F4", "baseline + median filter", experiments::ranging::figure4_median_filter),
-    ("F6", "refined ranging histogram, grass", experiments::ranging::figure6_refined_histogram),
-    ("F7", "bidirectional-only histogram", experiments::ranging::figure7_bidirectional),
-    ("F8", "error vs distance", experiments::ranging::figure8_error_vs_distance),
-    ("MAXR", "maximum-range study", experiments::ranging::max_range_study),
-    ("SYNC", "clock-sync error bound", experiments::sync::sync_error_bound),
-    ("F10", "DFT tone-detection filter", experiments::signal::figure10_dft_filter),
-    ("F11", "intersection consistency demo", experiments::multilateration::figure11_intersection_consistency),
-    ("F12", "parking-lot multilateration", experiments::multilateration::figure12_parking_lot),
-    ("F14", "sparse-grid multilateration", experiments::multilateration::figure14_sparse_grid),
-    ("F16", "augmented-grid multilateration", experiments::multilateration::figure16_augmented_grid),
-    ("F18", "centralized LSS + constraint, grid", experiments::lss::figure18_grid_constrained),
-    ("F19", "centralized LSS, no constraint, grid", experiments::lss::figure19_grid_unconstrained),
-    ("F20", "town multilateration", experiments::multilateration::figure20_town),
-    ("F21", "town LSS + constraint", experiments::lss::figure21_town_constrained),
-    ("F22", "town LSS, no constraint", experiments::lss::figure22_town_unconstrained),
-    ("F23", "stress vs epoch", experiments::lss::figure23_error_vs_epoch),
-    ("F24", "distributed LSS, sparse", experiments::distributed::figure24_sparse),
-    ("F25", "distributed LSS, augmented", experiments::distributed::figure25_augmented),
-    ("BASELINES", "related-work baseline comparison", experiments::baselines::baseline_comparison),
-    ("ABL-FILTER", "median vs mode vs none", experiments::ranging::filter_ablation),
-    ("ABL-CHIRP", "chirp-length sweep", experiments::signal::chirp_length_ablation),
-    ("ABL-THRESH", "threshold sweep", experiments::signal::threshold_ablation),
-    ("ABL-CONSIST", "consistency-check ablation", experiments::multilateration::consistency_ablation),
-    ("ABL-WD", "constraint-weight sweep", experiments::lss::constraint_weight_ablation),
-    ("ABL-INIT", "init-strategy ablation", experiments::lss::init_ablation),
-    ("ABL-TRANSFORM", "transform-method ablation", experiments::distributed::transform_method_ablation),
+    (
+        "F2",
+        "baseline ranging errors, urban",
+        experiments::ranging::figure2_baseline_urban,
+    ),
+    (
+        "F4",
+        "baseline + median filter",
+        experiments::ranging::figure4_median_filter,
+    ),
+    (
+        "F6",
+        "refined ranging histogram, grass",
+        experiments::ranging::figure6_refined_histogram,
+    ),
+    (
+        "F7",
+        "bidirectional-only histogram",
+        experiments::ranging::figure7_bidirectional,
+    ),
+    (
+        "F8",
+        "error vs distance",
+        experiments::ranging::figure8_error_vs_distance,
+    ),
+    (
+        "MAXR",
+        "maximum-range study",
+        experiments::ranging::max_range_study,
+    ),
+    (
+        "SYNC",
+        "clock-sync error bound",
+        experiments::sync::sync_error_bound,
+    ),
+    (
+        "F10",
+        "DFT tone-detection filter",
+        experiments::signal::figure10_dft_filter,
+    ),
+    (
+        "F11",
+        "intersection consistency demo",
+        experiments::multilateration::figure11_intersection_consistency,
+    ),
+    (
+        "F12",
+        "parking-lot multilateration",
+        experiments::multilateration::figure12_parking_lot,
+    ),
+    (
+        "F14",
+        "sparse-grid multilateration",
+        experiments::multilateration::figure14_sparse_grid,
+    ),
+    (
+        "F16",
+        "augmented-grid multilateration",
+        experiments::multilateration::figure16_augmented_grid,
+    ),
+    (
+        "F18",
+        "centralized LSS + constraint, grid",
+        experiments::lss::figure18_grid_constrained,
+    ),
+    (
+        "F19",
+        "centralized LSS, no constraint, grid",
+        experiments::lss::figure19_grid_unconstrained,
+    ),
+    (
+        "F20",
+        "town multilateration",
+        experiments::multilateration::figure20_town,
+    ),
+    (
+        "F21",
+        "town LSS + constraint",
+        experiments::lss::figure21_town_constrained,
+    ),
+    (
+        "F22",
+        "town LSS, no constraint",
+        experiments::lss::figure22_town_unconstrained,
+    ),
+    (
+        "F23",
+        "stress vs epoch",
+        experiments::lss::figure23_error_vs_epoch,
+    ),
+    (
+        "F24",
+        "distributed LSS, sparse",
+        experiments::distributed::figure24_sparse,
+    ),
+    (
+        "F25",
+        "distributed LSS, augmented",
+        experiments::distributed::figure25_augmented,
+    ),
+    (
+        "BASELINES",
+        "related-work baseline comparison",
+        experiments::baselines::baseline_comparison,
+    ),
+    (
+        "ABL-FILTER",
+        "median vs mode vs none",
+        experiments::ranging::filter_ablation,
+    ),
+    (
+        "ABL-CHIRP",
+        "chirp-length sweep",
+        experiments::signal::chirp_length_ablation,
+    ),
+    (
+        "ABL-THRESH",
+        "threshold sweep",
+        experiments::signal::threshold_ablation,
+    ),
+    (
+        "ABL-CONSIST",
+        "consistency-check ablation",
+        experiments::multilateration::consistency_ablation,
+    ),
+    (
+        "ABL-WD",
+        "constraint-weight sweep",
+        experiments::lss::constraint_weight_ablation,
+    ),
+    (
+        "ABL-INIT",
+        "init-strategy ablation",
+        experiments::lss::init_ablation,
+    ),
+    (
+        "ABL-TRANSFORM",
+        "transform-method ablation",
+        experiments::distributed::transform_method_ablation,
+    ),
 ];
 
 fn main() {

@@ -66,7 +66,12 @@ pub fn baseline_comparison(seed: u64) -> ExperimentResult {
             let pm = PositionMap::complete(coords);
             row("MDS-MAP (Shang et al.)", false, &pm, true);
         }
-        Err(_) => row("MDS-MAP (Shang et al.)", false, &PositionMap::unlocalized(truth.len()), true),
+        Err(_) => row(
+            "MDS-MAP (Shang et al.)",
+            false,
+            &PositionMap::unlocalized(truth.len()),
+            true,
+        ),
     }
 
     // Multilateration (ranging + anchors).

@@ -47,8 +47,14 @@ fn run_and_summarize(
     t.push(&["measured pairs".into(), set.len().to_string()]);
     t.push(&["root".into(), root.to_string()]);
     t.push(&["local maps built".into(), out.local_maps_built.to_string()]);
-    t.push(&["localized".into(), out.positions.localized_count().to_string()]);
-    t.push(&["messages delivered".into(), out.messages_delivered.to_string()]);
+    t.push(&[
+        "localized".into(),
+        out.positions.localized_count().to_string(),
+    ]);
+    t.push(&[
+        "messages delivered".into(),
+        out.messages_delivered.to_string(),
+    ]);
 
     let (localized, mean_err) = match evaluate_against_truth(&out.positions, truth) {
         Ok(eval) => {
@@ -238,6 +244,10 @@ mod tests {
             mean(&augmented),
             mean(&sparse)
         );
-        assert!(mean(&augmented) < 2.0, "augmented error {}", mean(&augmented));
+        assert!(
+            mean(&augmented) < 2.0,
+            "augmented error {}",
+            mean(&augmented)
+        );
     }
 }

@@ -57,8 +57,8 @@ fn run_lss(
     let solution = LssSolver::new(config)
         .solve(set, &mut rng)
         .expect("measurement set is usable");
-    let eval = evaluate_against_truth(&solution.positions(), truth)
-        .expect("all nodes localized by LSS");
+    let eval =
+        evaluate_against_truth(&solution.positions(), truth).expect("all nodes localized by LSS");
     (eval, solution)
 }
 
@@ -90,7 +90,13 @@ fn trial_table(
 ) -> (Table, Vec<f64>, rl_core::eval::Evaluation) {
     let mut t = Table::new(
         "per-trial outcomes",
-        &["trial", "mean_error_m", "w/o_worst_5_m", "stress", "iterations"],
+        &[
+            "trial",
+            "mean_error_m",
+            "w/o_worst_5_m",
+            "stress",
+            "iterations",
+        ],
     );
     let mut errors = Vec::with_capacity(TRIALS);
     let mut best: Option<(f64, rl_core::eval::Evaluation)> = None;
@@ -255,7 +261,12 @@ pub fn figure23_error_vs_epoch(seed: u64) -> ExperimentResult {
             t.push(&[i.to_string(), format!("{v:.3}")]);
         }
         result = result.with_table(t);
-        final_values.push((label, trace.values.len(), solution.stress(), eval.mean_error));
+        final_values.push((
+            label,
+            trace.values.len(),
+            solution.stress(),
+            eval.mean_error,
+        ));
     }
     let (_, epochs_c, stress_c, err_c) = final_values[0];
     let (_, epochs_u, stress_u, err_u) = final_values[1];

@@ -121,11 +121,10 @@ pub fn figure11_intersection_consistency(_seed: u64) -> ExperimentResult {
             })
             .collect();
         let mut rng = rl_math::rng::seeded(11);
-        let out = MultilaterationSolver::new(
-            MultilaterationConfig::paper().with_consistency(false),
-        )
-        .solve(&set, &anchors, &mut rng)
-        .expect("enough anchors");
+        let out =
+            MultilaterationSolver::new(MultilaterationConfig::paper().with_consistency(false))
+                .solve(&set, &anchors, &mut rng)
+                .expect("enough anchors");
         out.positions.get(target).expect("target localized")
     };
     let with_filter: Vec<RangeToAnchor> = kept.iter().map(|&k| observations[k]).collect();
@@ -196,15 +195,21 @@ pub fn figure12_parking_lot(seed: u64) -> ExperimentResult {
     summary.push(&["anchors".into(), scenario.anchors.len().to_string()]);
     summary.push(&["localized non-anchors".into(), localized.to_string()]);
     summary.push(&["average error (m)".into(), m(mean_err)]);
-    summary.push(&["anchors dropped by check".into(), out.anchors_dropped.to_string()]);
+    summary.push(&[
+        "anchors dropped by check".into(),
+        out.anchors_dropped.to_string(),
+    ]);
 
-    ExperimentResult::new("F12", "15-node parking lot, 5 anchors, one-way baseline ranging")
-        .with_table(summary)
-        .with_table(positions_table(&out.positions, truth))
-        .with_note(format!(
-            "paper: average error 0.868 m over 10 non-anchors; measured: {} m over {localized}",
-            m(mean_err)
-        ))
+    ExperimentResult::new(
+        "F12",
+        "15-node parking lot, 5 anchors, one-way baseline ranging",
+    )
+    .with_table(summary)
+    .with_table(positions_table(&out.positions, truth))
+    .with_note(format!(
+        "paper: average error 0.868 m over 10 non-anchors; measured: {} m over {localized}",
+        m(mean_err)
+    ))
 }
 
 /// The sparse grass-grid measurement set used by Figures 13/14 and the LSS
@@ -239,7 +244,10 @@ pub fn figure14_sparse_grid(seed: u64) -> ExperimentResult {
     summary.push(&["non-anchor nodes".into(), non_anchors.to_string()]);
     summary.push(&[
         "localized".into(),
-        format!("{localized} ({})", pct(localized as f64 / non_anchors as f64)),
+        format!(
+            "{localized} ({})",
+            pct(localized as f64 / non_anchors as f64)
+        ),
     ]);
     summary.push(&[
         "mean anchors available per node".into(),
@@ -247,15 +255,18 @@ pub fn figure14_sparse_grid(seed: u64) -> ExperimentResult {
     ]);
     summary.push(&["average error (m)".into(), m(mean_err)]);
 
-    ExperimentResult::new("F14", "multilateration, sparse grass grid, 13 of 46 anchors")
-        .with_table(summary)
-        .with_table(positions_table(&out.positions, truth))
-        .with_note(format!(
-            "paper: 7 of 33 localized (avg 1.47 anchors/node), error 0.7 m; measured: \
+    ExperimentResult::new(
+        "F14",
+        "multilateration, sparse grass grid, 13 of 46 anchors",
+    )
+    .with_table(summary)
+    .with_table(positions_table(&out.positions, truth))
+    .with_note(format!(
+        "paper: 7 of 33 localized (avg 1.47 anchors/node), error 0.7 m; measured: \
              {localized} of {non_anchors} (avg {} anchors/node), error {} m",
-            m(out.mean_anchors_available),
-            m(mean_err)
-        ))
+        m(out.mean_anchors_available),
+        m(mean_err)
+    ))
 }
 
 /// **F15/F16** — the same grid with synthetic distances added
@@ -295,9 +306,15 @@ pub fn figure16_augmented_grid(seed: u64) -> ExperimentResult {
     summary.push(&["total pairs".into(), set.len().to_string()]);
     summary.push(&[
         "localized".into(),
-        format!("{localized} ({})", pct(localized as f64 / non_anchors as f64)),
+        format!(
+            "{localized} ({})",
+            pct(localized as f64 / non_anchors as f64)
+        ),
     ]);
-    summary.push(&["mean anchors available".into(), m(out.mean_anchors_available)]);
+    summary.push(&[
+        "mean anchors available".into(),
+        m(out.mean_anchors_available),
+    ]);
     summary.push(&["average error (m)".into(), m(mean_err)]);
     summary.push(&["average error w/o worst 3 (m)".into(), m(trimmed)]);
 
@@ -323,11 +340,9 @@ pub fn figure20_town(seed: u64) -> ExperimentResult {
     let pairs = set.len();
 
     let anchors = Anchor::from_truth(&scenario.anchors, truth);
-    let out = MultilaterationSolver::new(
-        MultilaterationConfig::paper().with_consistency(false),
-    )
-    .solve(&set, &anchors, &mut rng)
-    .expect("18 anchors supplied");
+    let out = MultilaterationSolver::new(MultilaterationConfig::paper().with_consistency(false))
+        .solve(&set, &anchors, &mut rng)
+        .expect("18 anchors supplied");
     let (localized, mean_err, _) = non_anchor_error(&out.positions, truth, &scenario.anchors);
     let non_anchors = truth.len() - scenario.anchors.len();
 
@@ -336,7 +351,10 @@ pub fn figure20_town(seed: u64) -> ExperimentResult {
     summary.push(&["non-anchor nodes".into(), non_anchors.to_string()]);
     summary.push(&[
         "localized".into(),
-        format!("{localized} ({})", pct(localized as f64 / non_anchors as f64)),
+        format!(
+            "{localized} ({})",
+            pct(localized as f64 / non_anchors as f64)
+        ),
     ]);
     summary.push(&["average error (m)".into(), m(mean_err)]);
 
@@ -379,23 +397,29 @@ pub fn consistency_ablation(seed: u64) -> ExperimentResult {
     );
     let mut note_vals = Vec::new();
     for (label, enabled) in [("with check", true), ("without check", false)] {
-        let out = MultilaterationSolver::new(
-            MultilaterationConfig::paper().with_consistency(enabled),
-        )
-        .solve(&set, &anchors, &mut rng)
-        .expect("anchors supplied");
+        let out =
+            MultilaterationSolver::new(MultilaterationConfig::paper().with_consistency(enabled))
+                .solve(&set, &anchors, &mut rng)
+                .expect("anchors supplied");
         let (localized, mean_err, _) = non_anchor_error(&out.positions, truth, &scenario.anchors);
         t.push(&[label.into(), localized.to_string(), m(mean_err)]);
         note_vals.push(mean_err);
     }
-    ExperimentResult::new("ABL-CONSIST", "intersection consistency vs gross range outliers")
-        .with_table(t)
-        .with_note(format!(
-            "filtering {} the error ({} -> {} m)",
-            if note_vals[0] <= note_vals[1] { "reduces" } else { "did not reduce" },
-            m(note_vals[1]),
-            m(note_vals[0])
-        ))
+    ExperimentResult::new(
+        "ABL-CONSIST",
+        "intersection consistency vs gross range outliers",
+    )
+    .with_table(t)
+    .with_note(format!(
+        "filtering {} the error ({} -> {} m)",
+        if note_vals[0] <= note_vals[1] {
+            "reduces"
+        } else {
+            "did not reduce"
+        },
+        m(note_vals[1]),
+        m(note_vals[0])
+    ))
 }
 
 #[cfg(test)]

@@ -101,17 +101,20 @@ pub fn figure4_median_filter(seed: u64) -> ExperimentResult {
         .iter()
         .map(|(&(a, b), &est)| est - campaign.true_distance(a, b))
         .collect();
-    let gross_raw = raw_errors.iter().filter(|e| e.abs() > 1.0).count() as f64
-        / raw_errors.len().max(1) as f64;
+    let gross_raw =
+        raw_errors.iter().filter(|e| e.abs() > 1.0).count() as f64 / raw_errors.len().max(1) as f64;
     let gross_filtered =
         errors.iter().filter(|e| e.abs() > 1.0).count() as f64 / errors.len().max(1) as f64;
-    ExperimentResult::new("F4", "baseline ranging + median filter (up to 5 measurements)")
-        .with_table(error_stats(&errors))
-        .with_note(format!(
-            "gross-error rate: raw {} -> filtered {} (paper: most outliers suppressed)",
-            pct(gross_raw),
-            pct(gross_filtered)
-        ))
+    ExperimentResult::new(
+        "F4",
+        "baseline ranging + median filter (up to 5 measurements)",
+    )
+    .with_table(error_stats(&errors))
+    .with_note(format!(
+        "gross-error rate: raw {} -> filtered {} (paper: most outliers suppressed)",
+        pct(gross_raw),
+        pct(gross_filtered)
+    ))
 }
 
 /// Histogram table over ranging errors (the Figure 6/7 presentation).
@@ -227,7 +230,11 @@ pub fn figure8_error_vs_distance(seed: u64) -> ExperimentResult {
                 .map(|g| pct(*g))
                 .collect::<Vec<_>>()
                 .join(" -> "),
-            if increasing { "increasing" } else { "NOT increasing" }
+            if increasing {
+                "increasing"
+            } else {
+                "NOT increasing"
+            }
         ))
 }
 
@@ -333,9 +340,12 @@ pub fn filter_ablation(seed: u64) -> ExperimentResult {
             pct(gross),
         ]);
     }
-    ExperimentResult::new("ABL-FILTER", "median vs mode vs unfiltered (grass campaign)")
-        .with_table(t)
-        .with_note("paper: median/mode limit the effect of outliers; mode needs more samples")
+    ExperimentResult::new(
+        "ABL-FILTER",
+        "median vs mode vs unfiltered (grass campaign)",
+    )
+    .with_table(t)
+    .with_note("paper: median/mode limit the effect of outliers; mode needs more samples")
 }
 
 #[cfg(test)]

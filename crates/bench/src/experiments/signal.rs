@@ -22,7 +22,13 @@ pub fn figure10_dft_filter(seed: u64) -> ExperimentResult {
     );
     let mut summary = Table::new(
         "detection summary",
-        &["signal", "true_chirps", "detected", "aligned", "false_positives"],
+        &[
+            "signal",
+            "true_chirps",
+            "detected",
+            "aligned",
+            "false_positives",
+        ],
     );
     for (label, spec, rng_seed) in [
         ("clean", WaveformSpec::figure10_clean(), seed),
@@ -74,7 +80,12 @@ pub fn figure10_dft_filter(seed: u64) -> ExperimentResult {
 pub fn chirp_length_ablation(seed: u64) -> ExperimentResult {
     let mut t = Table::new(
         "chirp length sweep, grass at 12 m",
-        &["chirp_ms", "detection_rate", "gross_over_rate", "max_over_m"],
+        &[
+            "chirp_ms",
+            "detection_rate",
+            "gross_over_rate",
+            "max_over_m",
+        ],
     );
     for chirp_ms in [2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
         let config = ChirpTrainConfig {
@@ -128,7 +139,8 @@ pub fn threshold_ablation(seed: u64) -> ExperimentResult {
                 required,
                 window: 32,
             };
-            let mut rng = rl_math::rng::seeded(seed ^ (u64::from(threshold) << 4) ^ required as u64);
+            let mut rng =
+                rl_math::rng::seeded(seed ^ (u64::from(threshold) << 4) ^ required as u64);
             let trials = 60;
             let mut hits = 0;
             let mut false_hits = 0;
@@ -151,9 +163,12 @@ pub fn threshold_ablation(seed: u64) -> ExperimentResult {
             ]);
         }
     }
-    ExperimentResult::new("ABL-THRESH", "detection thresholds: sensitivity vs false positives")
-        .with_table(t)
-        .with_note("paper calibrated T=2, k=6 of 32 for the grass deployment")
+    ExperimentResult::new(
+        "ABL-THRESH",
+        "detection thresholds: sensitivity vs false positives",
+    )
+    .with_table(t)
+    .with_note("paper calibrated T=2, k=6 of 32 for the grass deployment")
 }
 
 #[cfg(test)]

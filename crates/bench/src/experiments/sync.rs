@@ -43,12 +43,18 @@ pub fn sync_error_bound(seed: u64) -> ExperimentResult {
         worst_err_s = worst_err_s.max(err);
         sum_err_s += err;
     }
-    let mut simulated = Table::new("simulated FTSP exchange (30 m flight)", &["metric", "value"]);
+    let mut simulated = Table::new(
+        "simulated FTSP exchange (30 m flight)",
+        &["metric", "value"],
+    );
     simulated.push(&[
         "mean |error| (µs)".into(),
         format!("{:.2}", sum_err_s / trials as f64 * 1e6),
     ]);
-    simulated.push(&["max |error| (µs)".into(), format!("{:.2}", worst_err_s * 1e6)]);
+    simulated.push(&[
+        "max |error| (µs)".into(),
+        format!("{:.2}", worst_err_s * 1e6),
+    ]);
     simulated.push(&[
         "max ranging error (cm)".into(),
         format!("{:.3}", worst_err_s * 340.0 * 100.0),

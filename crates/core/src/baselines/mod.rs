@@ -74,9 +74,8 @@ pub fn dv_hop<R: rand::Rng + ?Sized>(
         .collect();
     let seed = rng.random::<u64>();
     let mut sim = Simulator::new(nodes, truth_positions, radio.clone(), seed);
-    sim.run().map_err(|_| {
-        LocalizationError::InvalidConfig("flooding exhausted the event budget")
-    })?;
+    sim.run()
+        .map_err(|_| LocalizationError::InvalidConfig("flooding exhausted the event budget"))?;
 
     // hops[i][k]: hop count from node i to anchor k.
     let hops: Vec<Vec<Option<usize>>> = (0..n)
@@ -125,7 +124,7 @@ pub fn dv_hop<R: rand::Rng + ?Sized>(
     // the meters-per-hop of its *closest* anchor (the value it would have
     // received first), then multilaterates.
     let mut set = rl_ranging::measurement::MeasurementSet::new(n);
-    for i in 0..n {
+    for (i, node_hops) in hops.iter().enumerate().take(n) {
         if anchor_ids.contains(&NodeId(i)) {
             continue;
         }
@@ -133,13 +132,13 @@ pub fn dv_hop<R: rand::Rng + ?Sized>(
         let mph = anchor_ids
             .iter()
             .enumerate()
-            .filter_map(|(k, _)| hops[i][k].map(|h| (h, meters_per_hop[k])))
+            .filter_map(|(k, _)| node_hops[k].map(|h| (h, meters_per_hop[k])))
             .filter(|(_, m)| m.is_finite())
             .min_by_key(|&(h, _)| h)
             .map(|(_, m)| m);
         let Some(mph) = mph else { continue };
         for (k, a) in anchors.iter().enumerate() {
-            if let Some(h) = hops[i][k] {
+            if let Some(h) = node_hops[k] {
                 if h > 0 {
                     set.insert(NodeId(i), a.id, mph * h as f64);
                 }

@@ -96,22 +96,17 @@ impl LocalMap {
 }
 
 /// How pairwise frame transforms are estimated.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum TransformMethod {
     /// The computationally cheap closed form: translation between centers
     /// of mass, rotation from cross-covariances, reflection by error
     /// comparison (Section 4.3.1's mote-friendly method).
+    #[default]
     Covariance,
     /// Full gradient-descent minimization over `(θ, t_x, t_y)` for both
     /// reflection factors ("fairly accurate … but too computationally
     /// intensive" for motes).
     Minimization(DescentConfig),
-}
-
-impl Default for TransformMethod {
-    fn default() -> Self {
-        TransformMethod::Covariance
-    }
 }
 
 /// Sanity guards applied to pairwise transform estimation.
@@ -406,7 +401,9 @@ impl DistNode {
         api: &mut Api<'_, DistMsg>,
     ) {
         let Some(map) = &self.local_map else { return };
-        let Some(p) = map.coord_of(map.center) else { return };
+        let Some(p) = map.coord_of(map.center) else {
+            return;
+        };
         let rel = p - origin;
         self.global_pos = Some(Point2::new(rel.dot(ex), rel.dot(ey)));
         api.broadcast(DistMsg::Align { origin, ex, ey });
@@ -443,8 +440,7 @@ impl Node for DistNode {
                     return;
                 };
                 // Transform from the sender's frame into mine.
-                let Ok(t) =
-                    estimate_transform(sender_map, &my_map, &self.transform, &self.guards)
+                let Ok(t) = estimate_transform(sender_map, &my_map, &self.transform, &self.guards)
                 else {
                     return;
                 };
@@ -576,7 +572,10 @@ mod tests {
         assert!(map.coord_of(NodeId(4)).is_some());
         assert_eq!(map.coord_of(NodeId(99)), None);
         // Local map distances match measurements (relative frame).
-        let d01 = map.coord_of(NodeId(0)).unwrap().distance(map.coord_of(NodeId(1)).unwrap());
+        let d01 = map
+            .coord_of(NodeId(0))
+            .unwrap()
+            .distance(map.coord_of(NodeId(1)).unwrap());
         assert!((d01 - 9.0).abs() < 0.3, "local map distance {d01}");
     }
 
@@ -616,7 +615,8 @@ mod tests {
                 ..DescentConfig::default()
             }),
         ] {
-            let t = estimate_transform(&source, &target, &method, &TransformGuards::default()).unwrap();
+            let t =
+                estimate_transform(&source, &target, &method, &TransformGuards::default()).unwrap();
             for &p in &truth {
                 assert!(
                     t.apply(p).distance(hidden.apply(p)) < 0.05,
@@ -766,9 +766,14 @@ mod tests {
         let truth: Vec<Point2> = (0..8).map(|i| Point2::new(i as f64 * 9.0, 0.0)).collect();
         let set = MeasurementSet::oracle(&truth, 9.5); // nearest neighbors only
         let mut rng = seeded(5);
-        let out =
-            run_distributed(&set, &truth, NodeId(0), &DistributedConfig::default(), &mut rng)
-                .unwrap();
+        let out = run_distributed(
+            &set,
+            &truth,
+            NodeId(0),
+            &DistributedConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         // Local maps are collinear triples; transforms are degenerate or
         // under-shared, so most nodes stay unlocalized.
         assert!(
@@ -783,11 +788,23 @@ mod tests {
         let set = MeasurementSet::oracle(&truth, 22.0);
         let mut rng = seeded(6);
         assert!(matches!(
-            run_distributed(&set, &truth[..2], NodeId(0), &DistributedConfig::default(), &mut rng),
+            run_distributed(
+                &set,
+                &truth[..2],
+                NodeId(0),
+                &DistributedConfig::default(),
+                &mut rng
+            ),
             Err(LocalizationError::InvalidConfig(_))
         ));
         assert!(matches!(
-            run_distributed(&set, &truth, NodeId(9), &DistributedConfig::default(), &mut rng),
+            run_distributed(
+                &set,
+                &truth,
+                NodeId(9),
+                &DistributedConfig::default(),
+                &mut rng
+            ),
             Err(LocalizationError::InvalidConfig(_))
         ));
     }

@@ -178,8 +178,7 @@ mod tests {
     fn rotated_flipped_estimate_aligns_to_zero() {
         let t = truth();
         let hidden = RigidTransform::new(1.2, true, Vec2::new(-30.0, 12.0));
-        let est =
-            PositionMap::complete(t.iter().map(|&p| hidden.apply(p)).collect::<Vec<_>>());
+        let est = PositionMap::complete(t.iter().map(|&p| hidden.apply(p)).collect::<Vec<_>>());
         let eval = evaluate_against_truth(&est, &t).unwrap();
         assert!(eval.mean_error < 1e-9, "mean error {}", eval.mean_error);
     }
@@ -187,8 +186,7 @@ mod tests {
     #[test]
     fn absolute_evaluation_does_not_align() {
         let t = truth();
-        let shifted: Vec<Point2> =
-            t.iter().map(|&p| p + Vec2::new(1.0, 0.0)).collect();
+        let shifted: Vec<Point2> = t.iter().map(|&p| p + Vec2::new(1.0, 0.0)).collect();
         let est = PositionMap::complete(shifted);
         let absolute = evaluate_absolute(&est, &t).unwrap();
         assert!((absolute.mean_error - 1.0).abs() < 1e-12);

@@ -220,11 +220,7 @@ impl LssSolver {
     ///   fewer than three nodes,
     /// * [`LocalizationError::InvalidConfig`] when a `Given` init has the
     ///   wrong length.
-    pub fn solve<R: Rng + ?Sized>(
-        &self,
-        set: &MeasurementSet,
-        rng: &mut R,
-    ) -> Result<LssSolution> {
+    pub fn solve<R: Rng + ?Sized>(&self, set: &MeasurementSet, rng: &mut R) -> Result<LssSolution> {
         let mut solution = self.solve_once(set, rng)?;
         let Some(robust) = self.config.robust else {
             return Ok(solution);
@@ -288,11 +284,7 @@ impl LssSolver {
         let mut best_x = x0.clone();
         let mut best_stress = f64::INFINITY;
         let mut iterations = 0usize;
-        let mut trace = self
-            .config
-            .descent
-            .record_trace
-            .then(DescentTrace::default);
+        let mut trace = self.config.descent.record_trace.then(DescentTrace::default);
         let mut gauss = rl_math::rng::GaussianSampler::new();
 
         // Scale for fresh random re-seeds (see below).
@@ -385,10 +377,7 @@ impl LssSolver {
 
         let objective = AnchoredObjective {
             inner: LssObjective::new(set, self.config.soft_constraint),
-            anchors: anchors
-                .iter()
-                .map(|a| (a.id.index(), a.position))
-                .collect(),
+            anchors: anchors.iter().map(|a| (a.id.index(), a.position)).collect(),
             weight: self.config.anchor_weight,
             n: set.node_count(),
         };
@@ -430,8 +419,7 @@ impl LssSolver {
             InitStrategy::MdsMap => match crate::mds::mdsmap_coordinates(set) {
                 Ok(coords) => Ok(flatten(&coords)),
                 Err(_) => {
-                    let mean_d =
-                        set.iter().map(|(_, _, d)| d).sum::<f64>() / set.len() as f64;
+                    let mean_d = set.iter().map(|(_, _, d)| d).sum::<f64>() / set.len() as f64;
                     let side = (mean_d * (n as f64).sqrt() * 0.7).max(1.0);
                     Ok(random_square(n, side, rng))
                 }
@@ -610,9 +598,8 @@ mod tests {
             bad_init.solve(&set, &mut rng),
             Err(LocalizationError::InvalidConfig(_))
         ));
-        let bad_square = LssSolver::new(
-            LssConfig::default().with_init(InitStrategy::RandomInSquare(0.0)),
-        );
+        let bad_square =
+            LssSolver::new(LssConfig::default().with_init(InitStrategy::RandomInSquare(0.0)));
         assert!(bad_square.solve(&set, &mut rng).is_err());
     }
 
@@ -677,11 +664,10 @@ mod tests {
         let plain_eval = evaluate_against_truth(&plain.positions(), &truth).unwrap();
 
         let mut rng = seeded(21);
-        let robust = LssSolver::new(
-            LssConfig::default().with_robust_reweight(RobustReweight::default()),
-        )
-        .solve(&set, &mut rng)
-        .unwrap();
+        let robust =
+            LssSolver::new(LssConfig::default().with_robust_reweight(RobustReweight::default()))
+                .solve(&set, &mut rng)
+                .unwrap();
         let robust_eval = evaluate_against_truth(&robust.positions(), &truth).unwrap();
         assert!(
             robust_eval.mean_error < plain_eval.mean_error * 0.6,
@@ -689,7 +675,11 @@ mod tests {
             robust_eval.mean_error,
             plain_eval.mean_error
         );
-        assert!(robust_eval.mean_error < 0.3, "robust {}", robust_eval.mean_error);
+        assert!(
+            robust_eval.mean_error < 0.3,
+            "robust {}",
+            robust_eval.mean_error
+        );
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn classical_mds(distances: &DMatrix) -> Result<Vec<Point2>> {
         .map(|i| {
             Point2::new(
                 coords[(i, 0)],
-                if coords.cols() > 1 { coords[(i, 1)] } else { 0.0 },
+                if coords.cols() > 1 {
+                    coords[(i, 1)]
+                } else {
+                    0.0
+                },
             )
         })
         .collect())
@@ -93,10 +97,8 @@ pub fn mdsmap_coordinates(set: &MeasurementSet) -> Result<Vec<Point2>> {
         ));
     }
     let topology = set.topology();
-    let sp = topology.shortest_paths(|a, b| {
-        set.get(a, b)
-            .expect("topology edges mirror measurements")
-    });
+    let sp =
+        topology.shortest_paths(|a, b| set.get(a, b).expect("topology edges mirror measurements"));
     let mut d = DMatrix::zeros(n, n);
     for (i, row) in sp.iter().enumerate() {
         for (j, entry) in row.iter().enumerate() {
@@ -136,8 +138,7 @@ mod tests {
         let n = truth.len();
         let d = DMatrix::from_fn(n, n, |i, j| truth[i].distance(truth[j]));
         let coords = classical_mds(&d).unwrap();
-        let eval =
-            evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
+        let eval = evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
         assert!(eval.mean_error < 1e-6, "mean error {}", eval.mean_error);
     }
 
@@ -158,13 +159,11 @@ mod tests {
             if i == j {
                 0.0
             } else {
-                (truth[i].distance(truth[j]) + rl_math::rng::normal(&mut rng, 0.0, 0.33))
-                    .max(0.1)
+                (truth[i].distance(truth[j]) + rl_math::rng::normal(&mut rng, 0.0, 0.33)).max(0.1)
             }
         });
         let coords = classical_mds(&d).unwrap();
-        let eval =
-            evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
+        let eval = evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
         assert!(eval.mean_error < 1.0, "mean error {}", eval.mean_error);
     }
 
@@ -173,8 +172,7 @@ mod tests {
         let truth = grid(4, 4, 9.0);
         let set = MeasurementSet::oracle(&truth, 14.0);
         let coords = mdsmap_coordinates(&set).unwrap();
-        let eval =
-            evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
+        let eval = evaluate_against_truth(&PositionMap::complete(coords), &truth).unwrap();
         // Shortest-path completion overestimates long distances, so the
         // reconstruction is coarse — but the layout must be recognizable.
         assert!(eval.mean_error < 4.0, "mean error {}", eval.mean_error);
@@ -199,7 +197,7 @@ mod tests {
 
     #[test]
     fn collinear_points_need_only_one_dimension() {
-        let truth = vec![
+        let truth = [
             Point2::new(0.0, 0.0),
             Point2::new(4.0, 0.0),
             Point2::new(9.0, 0.0),

@@ -99,10 +99,7 @@ impl IntersectionConsistency {
                 .filter(|p| p.distance(center) <= self.cluster_radius_m)
                 .count()
         };
-        let best = points
-            .iter()
-            .copied()
-            .max_by_key(|&p| neighbor_count(p))?;
+        let best = points.iter().copied().max_by_key(|&p| neighbor_count(p))?;
         let cluster: Vec<Point2> = points
             .iter()
             .copied()

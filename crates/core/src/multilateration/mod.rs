@@ -340,9 +340,9 @@ impl MultilaterationSolver {
                     .iter()
                     .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite residuals"))?;
                 if self.config.reject_ambiguous {
-                    let competing = minima.iter().any(|&(p, v)| {
-                        p.distance(best_p) > 2.0 && v <= best_v * 9.0 + 0.5
-                    });
+                    let competing = minima
+                        .iter()
+                        .any(|&(p, v)| p.distance(best_p) > 2.0 && v <= best_v * 9.0 + 0.5);
                     if competing {
                         return None;
                     }
@@ -350,10 +350,7 @@ impl MultilaterationSolver {
                 Some(best_p)
             }
             Estimator::ModeOfIntersections => {
-                let check = self
-                    .config
-                    .consistency
-                    .unwrap_or_default();
+                let check = self.config.consistency.unwrap_or_default();
                 check.mode_of_intersections(observations)
             }
         }
@@ -423,15 +420,18 @@ mod tests {
         let with = MultilaterationSolver::new(MultilaterationConfig::paper())
             .solve(&set, &anchors, &mut rng)
             .unwrap();
-        let without = MultilaterationSolver::new(
-            MultilaterationConfig::paper().with_consistency(false),
-        )
-        .solve(&set, &anchors, &mut rng)
-        .unwrap();
+        let without =
+            MultilaterationSolver::new(MultilaterationConfig::paper().with_consistency(false))
+                .solve(&set, &anchors, &mut rng)
+                .unwrap();
 
         let err_with = with.positions.get(NodeId(5)).unwrap().distance(truth[5]);
         let err_without = without.positions.get(NodeId(5)).unwrap().distance(truth[5]);
-        assert!(with.anchors_dropped >= 1, "dropped {}", with.anchors_dropped);
+        assert!(
+            with.anchors_dropped >= 1,
+            "dropped {}",
+            with.anchors_dropped
+        );
         assert!(
             err_with < err_without,
             "consistency should help: {err_with} vs {err_without}"
@@ -443,7 +443,7 @@ mod tests {
     fn progressive_extends_coverage() {
         // Chain: anchors cluster on the left; node 7 only measures nodes
         // 5 and 6 plus one anchor, so it needs progressive promotion.
-        let truth = vec![
+        let truth = [
             Point2::new(0.0, 0.0),
             Point2::new(10.0, 0.0),
             Point2::new(0.0, 10.0),
@@ -475,14 +475,16 @@ mod tests {
             .unwrap();
         assert!(!plain.positions.is_localized(NodeId(7)));
 
-        let progressive = MultilaterationSolver::new(
-            MultilaterationConfig::paper().progressive(),
-        )
-        .solve(&set, &anchors, &mut rng)
-        .unwrap();
+        let progressive = MultilaterationSolver::new(MultilaterationConfig::paper().progressive())
+            .solve(&set, &anchors, &mut rng)
+            .unwrap();
         assert!(progressive.positions.is_localized(NodeId(7)));
         assert!(progressive.rounds > 1);
-        let err = progressive.positions.get(NodeId(7)).unwrap().distance(truth[7]);
+        let err = progressive
+            .positions
+            .get(NodeId(7))
+            .unwrap()
+            .distance(truth[7]);
         assert!(err < 1.0, "progressive error {err}");
     }
 
@@ -509,11 +511,10 @@ mod tests {
         // The intersection check cannot help here (all intersections
         // cluster at both the node and its mirror), so disable it to
         // isolate the ambiguity rejection.
-        let rejecting = MultilaterationSolver::new(
-            MultilaterationConfig::paper().with_consistency(false),
-        )
-        .solve(&set, &anchors, &mut rng)
-        .unwrap();
+        let rejecting =
+            MultilaterationSolver::new(MultilaterationConfig::paper().with_consistency(false))
+                .solve(&set, &anchors, &mut rng)
+                .unwrap();
         assert!(
             !rejecting.positions.is_localized(NodeId(3)),
             "mirror-ambiguous node must stay unlocalized"

@@ -13,9 +13,10 @@ use serde::{Deserialize, Serialize};
 use crate::Deployment;
 
 /// How to choose anchors from a deployment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub enum AnchorSelection {
     /// No anchors (anchor-free LSS operation).
+    #[default]
     None,
     /// `count` anchors drawn uniformly at random.
     Random {
@@ -44,10 +45,7 @@ impl AnchorSelection {
         let mut out: Vec<NodeId> = match self {
             AnchorSelection::None => Vec::new(),
             AnchorSelection::Random { count } => {
-                assert!(
-                    *count <= n,
-                    "cannot pick {count} anchors from {n} nodes"
-                );
+                assert!(*count <= n, "cannot pick {count} anchors from {n} nodes");
                 rl_math::rng::sample_indices(rng, n, *count)
                     .into_iter()
                     .map(NodeId)
@@ -70,12 +68,6 @@ impl AnchorSelection {
     }
 }
 
-impl Default for AnchorSelection {
-    fn default() -> Self {
-        AnchorSelection::None
-    }
-}
-
 /// Splits node ids into `(anchors, non_anchors)` given an anchor list.
 pub fn split_nodes(n: usize, anchors: &[NodeId]) -> (Vec<NodeId>, Vec<NodeId>) {
     let anchor_set: std::collections::BTreeSet<NodeId> = anchors.iter().copied().collect();
@@ -95,16 +87,15 @@ mod tests {
     use rl_math::rng::seeded;
 
     fn deployment(n: usize) -> Deployment {
-        Deployment::new(
-            "test",
-            (0..n).map(|i| Point2::new(i as f64, 0.0)).collect(),
-        )
+        Deployment::new("test", (0..n).map(|i| Point2::new(i as f64, 0.0)).collect())
     }
 
     #[test]
     fn none_selects_nothing() {
         let mut rng = seeded(1);
-        assert!(AnchorSelection::None.select(&deployment(5), &mut rng).is_empty());
+        assert!(AnchorSelection::None
+            .select(&deployment(5), &mut rng)
+            .is_empty());
         assert_eq!(AnchorSelection::default(), AnchorSelection::None);
     }
 

@@ -176,7 +176,11 @@ mod tests {
     fn deployment_basics() {
         let d = Deployment::new(
             "test",
-            vec![Point2::new(0.0, 0.0), Point2::new(3.0, 4.0), Point2::new(0.0, 10.0)],
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(3.0, 4.0),
+                Point2::new(0.0, 10.0),
+            ],
         );
         assert_eq!(d.len(), 3);
         assert!(!d.is_empty());
@@ -202,7 +206,11 @@ mod tests {
     fn without_nodes_renumbers() {
         let d = Deployment::new(
             "t",
-            vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(2.0, 0.0)],
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(2.0, 0.0),
+            ],
         );
         let smaller = d.without_nodes(&[1]);
         assert_eq!(smaller.len(), 2);

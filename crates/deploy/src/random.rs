@@ -80,10 +80,7 @@ impl RandomDeployment {
                 });
             }
         }
-        Ok(Deployment::new(
-            format!("random-{}", self.count),
-            positions,
-        ))
+        Ok(Deployment::new(format!("random-{}", self.count), positions))
     }
 }
 
@@ -118,7 +115,9 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let mut rng = seeded(3);
-        assert!(RandomDeployment::new(5, 0.0, 10.0, 1.0).generate(&mut rng).is_err());
+        assert!(RandomDeployment::new(5, 0.0, 10.0, 1.0)
+            .generate(&mut rng)
+            .is_err());
         assert!(RandomDeployment::new(5, 10.0, 10.0, -1.0)
             .generate(&mut rng)
             .is_err());

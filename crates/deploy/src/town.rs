@@ -168,12 +168,10 @@ mod tests {
         let mut rng = seeded(22);
         let d = town.generate(40, &mut rng);
         for p in &d.positions {
-            let on_h_street = (0..=town.blocks_y).any(|by| {
-                (p.y - (town.origin.y + by as f64 * town.block_h)).abs() < 1e-9
-            });
-            let on_v_street = (0..=town.blocks_x).any(|bx| {
-                (p.x - (town.origin.x + bx as f64 * town.block_w)).abs() < 1e-9
-            });
+            let on_h_street = (0..=town.blocks_y)
+                .any(|by| (p.y - (town.origin.y + by as f64 * town.block_h)).abs() < 1e-9);
+            let on_v_street = (0..=town.blocks_x)
+                .any(|bx| (p.x - (town.origin.x + bx as f64 * town.block_w)).abs() < 1e-9);
             assert!(on_h_street || on_v_street, "{p} is off the street grid");
         }
     }

@@ -100,7 +100,11 @@ pub fn fit_rigid_transform(
         return Err(GeomError::Degenerate("all points coincide"));
     }
 
-    let factors: &[f64] = if allow_reflection { &[1.0, -1.0] } else { &[1.0] };
+    let factors: &[f64] = if allow_reflection {
+        &[1.0, -1.0]
+    } else {
+        &[1.0]
+    };
     let mut best: Option<AlignmentFit> = None;
 
     for &f in factors {
@@ -180,6 +184,42 @@ mod tests {
         assert!(fit.mean_residual() < 1e-12);
         let p = Point2::new(0.5, 0.5);
         assert!(fit.transform.apply(p).distance(p) < 1e-9);
+    }
+
+    /// Full Procrustes round trip: push an irregular point set through a
+    /// hidden rigid transform (rotation + reflection + translation), recover
+    /// the transform from correspondences alone, and demand sub-1e-9
+    /// residuals — both on the fitted points and on held-out probe points.
+    #[test]
+    fn round_trip_recovers_hidden_transform_below_1e9() {
+        let source = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(9.1, 0.3),
+            Point2::new(4.4, 8.2),
+            Point2::new(-3.7, 5.6),
+            Point2::new(1.2, -6.9),
+            Point2::new(12.8, 4.1),
+        ];
+        for &(theta, reflected) in &[(0.8, false), (2.4, true), (-1.3, true)] {
+            let hidden = RigidTransform::new(theta, reflected, Vec2::new(17.0, -42.5));
+            let target: Vec<Point2> = source.iter().map(|&p| hidden.apply(p)).collect();
+
+            let fit = fit_rigid_transform(&source, &target, true).unwrap();
+            assert!(fit.rmse < 1e-9, "rmse {} for theta {theta}", fit.rmse);
+            assert!(
+                fit.max_residual() < 1e-9,
+                "max residual {} for theta {theta}",
+                fit.max_residual()
+            );
+            assert_eq!(fit.transform.is_reflected(), reflected);
+
+            // The recovered map must agree with the hidden transform off the
+            // fitted correspondences too.
+            for &probe in &[Point2::new(100.0, -50.0), Point2::new(-8.0, 33.3)] {
+                let err = fit.transform.apply(probe).distance(hidden.apply(probe));
+                assert!(err < 1e-8, "probe error {err} for theta {theta}");
+            }
+        }
     }
 
     #[test]

@@ -265,7 +265,10 @@ mod tests {
     fn reflection_flips_orientation() {
         let t = RigidTransform::new(0.0, true, Vec2::ZERO);
         // f = -1, θ = 0: (u, v) -> (u, -v).
-        assert!(close(t.apply(Point2::new(2.0, 3.0)), Point2::new(2.0, -3.0)));
+        assert!(close(
+            t.apply(Point2::new(2.0, 3.0)),
+            Point2::new(2.0, -3.0)
+        ));
         // Orientation of a triangle flips.
         let a = Point2::new(0.0, 0.0);
         let b = Point2::new(1.0, 0.0);

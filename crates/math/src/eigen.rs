@@ -85,7 +85,11 @@ impl SymmetricEigen {
 
         // Sort eigenpairs by descending eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| {
+            m[(j, j)]
+                .partial_cmp(&m[(i, i)])
+                .expect("finite eigenvalues")
+        });
         let eigenvalues: Vec<f64> = order.iter().map(|&k| m[(k, k)]).collect();
         let mut eigenvectors = DMatrix::zeros(n, n);
         for (new_col, &old_col) in order.iter().enumerate() {
@@ -246,12 +250,8 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = DMatrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]).unwrap();
         let eig = SymmetricEigen::new(&a).unwrap();
         let v = eig.eigenvectors();
         let vtv = v.transpose().mul(v).unwrap();
@@ -265,12 +265,8 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_input() {
-        let a = DMatrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]).unwrap();
         let eig = SymmetricEigen::new(&a).unwrap();
         let r = reconstruct(&eig);
         for i in 0..3 {
@@ -288,7 +284,11 @@ mod tests {
         let eig = SymmetricEigen::new(&g).unwrap();
         let coords = eig.principal_coordinates(2);
         // Second dimension should be ~0; first recovers xs up to sign.
-        let sign = if coords[(0, 0)] * xs[0] >= 0.0 { 1.0 } else { -1.0 };
+        let sign = if coords[(0, 0)] * xs[0] >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..3 {
             assert!((sign * coords[(i, 0)] - xs[i]).abs() < 1e-9);
             assert!(coords[(i, 1)].abs() < 1e-6);
@@ -300,6 +300,46 @@ mod tests {
     fn principal_coordinates_rejects_excess_dims() {
         let eig = SymmetricEigen::new(&DMatrix::identity(2)).unwrap();
         let _ = eig.principal_coordinates(3);
+    }
+
+    /// `|cos| of the angle` between an unit eigenvector column and the
+    /// expected direction (eigenvectors are determined up to sign).
+    fn alignment(eig: &SymmetricEigen, k: usize, expected: &[f64]) -> f64 {
+        let v = eig.eigenvector(k);
+        let dot: f64 = v.iter().zip(expected).map(|(a, b)| a * b).sum();
+        let norm: f64 = expected.iter().map(|e| e * e).sum::<f64>().sqrt();
+        (dot / norm).abs()
+    }
+
+    /// Hand-computed 2x2 ground truth: `[[1, 2], [2, -2]]` has
+    /// characteristic polynomial `λ² + λ − 6 = (λ − 2)(λ + 3)`, so
+    /// eigenvalues 2 and −3 with eigenvectors `(2, 1)` and `(1, −2)`.
+    #[test]
+    fn two_by_two_matches_hand_computation() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, -2.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues()[0] - 2.0).abs() < 1e-10);
+        assert!((eig.eigenvalues()[1] + 3.0).abs() < 1e-10);
+        assert!((alignment(&eig, 0, &[2.0, 1.0]) - 1.0).abs() < 1e-10);
+        assert!((alignment(&eig, 1, &[1.0, -2.0]) - 1.0).abs() < 1e-10);
+    }
+
+    /// Hand-computed 3x3 ground truth: the tridiagonal matrix
+    /// `[[2, -1, 0], [-1, 2, -1], [0, -1, 2]]` has eigenvalues
+    /// `2 + √2, 2, 2 − √2` with eigenvectors `(1, −√2, 1)`, `(1, 0, −1)`,
+    /// and `(1, √2, 1)` respectively.
+    #[test]
+    fn three_by_three_matches_hand_computation() {
+        let a = DMatrix::from_rows(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
+            .unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let sqrt2 = core::f64::consts::SQRT_2;
+        assert!((eig.eigenvalues()[0] - (2.0 + sqrt2)).abs() < 1e-10);
+        assert!((eig.eigenvalues()[1] - 2.0).abs() < 1e-10);
+        assert!((eig.eigenvalues()[2] - (2.0 - sqrt2)).abs() < 1e-10);
+        assert!((alignment(&eig, 0, &[1.0, -sqrt2, 1.0]) - 1.0).abs() < 1e-10);
+        assert!((alignment(&eig, 1, &[1.0, 0.0, -1.0]) - 1.0).abs() < 1e-10);
+        assert!((alignment(&eig, 2, &[1.0, sqrt2, 1.0]) - 1.0).abs() < 1e-10);
     }
 
     proptest! {

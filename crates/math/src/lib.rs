@@ -108,7 +108,10 @@ mod tests {
             left: (2, 3),
             right: (4, 5),
         };
-        assert_eq!(e.to_string(), "dimension mismatch: left is 2x3, right is 4x5");
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch: left is 2x3, right is 4x5"
+        );
         let e = MathError::NotSquare { dims: (3, 4) };
         assert_eq!(e.to_string(), "matrix is not square: 3x4");
         let e = MathError::InvalidArgument("empty slice");

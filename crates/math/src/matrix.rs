@@ -416,8 +416,8 @@ mod tests {
     #[test]
     fn double_center_recovers_gram_matrix() {
         // Points on a line: x = 0, 3, 5. Centered coordinates: -8/3, 1/3, 7/3.
-        let d2 = DMatrix::from_rows(&[&[0.0, 9.0, 25.0], &[9.0, 0.0, 4.0], &[25.0, 4.0, 0.0]])
-            .unwrap();
+        let d2 =
+            DMatrix::from_rows(&[&[0.0, 9.0, 25.0], &[9.0, 0.0, 4.0], &[25.0, 4.0, 0.0]]).unwrap();
         let b = d2.double_center().unwrap();
         let xs = [-8.0 / 3.0, 1.0 / 3.0, 7.0 / 3.0];
         for i in 0..3 {

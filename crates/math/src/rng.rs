@@ -6,6 +6,30 @@
 //! seed. The `rand` crate provides uniform sampling only; Gaussian deviates
 //! (the paper's `N(0, 0.33 m)` synthetic ranging noise) come from the
 //! Box–Muller implementation here.
+//!
+//! # Seeding contract
+//!
+//! The workspace-wide reproducibility guarantee, relied on by the
+//! `tests/determinism.rs` suite at the repository root:
+//!
+//! 1. **One seed, one stream.** An experiment creates exactly one generator
+//!    via [`seeded`] and threads `&mut` borrows of it through every
+//!    stochastic call, in a fixed order. No component may create its own
+//!    generator from ambient entropy, and nothing in the workspace reads
+//!    OS randomness, time, or thread identity.
+//! 2. **Bit-identical replay.** Two runs of the same code with the same
+//!    seed must produce *bit-identical* floating-point results — not merely
+//!    results within a tolerance. Iteration over unordered containers
+//!    (e.g. `HashMap`) must therefore never feed the RNG or accumulate
+//!    floats in iteration order; ordered containers (`BTreeMap`, `Vec`)
+//!    are used wherever order can reach an observable result.
+//! 3. **Seeds are part of an experiment's identity.** Scenario builders
+//!    accept and record the seed they were given (see `rl_deploy::Scenario`),
+//!    so a published figure can name the exact stream that produced it.
+//! 4. **Different seeds, different noise.** Seeding is injective in
+//!    practice: distinct seeds yield uncorrelated streams (SplitMix64
+//!    expansion into xoshiro256++ state), so sweeps over `seed in 0..n`
+//!    give independent replicates.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

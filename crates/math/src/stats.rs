@@ -89,7 +89,8 @@ pub fn mode_binned(xs: &[f64], bin_width: f64) -> Option<f64> {
         return None;
     }
     let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let mut counts: std::collections::BTreeMap<i64, (usize, f64)> = std::collections::BTreeMap::new();
+    let mut counts: std::collections::BTreeMap<i64, (usize, f64)> =
+        std::collections::BTreeMap::new();
     for &x in xs {
         let bin = ((x - lo) / bin_width).floor() as i64;
         let e = counts.entry(bin).or_insert((0, 0.0));

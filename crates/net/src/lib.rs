@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(NetError::UnknownNode(NodeId(3)).to_string(), "unknown node n3");
+        assert_eq!(
+            NetError::UnknownNode(NodeId(3)).to_string(),
+            "unknown node n3"
+        );
         assert_eq!(
             NetError::EventBudgetExhausted { budget: 10 }.to_string(),
             "simulation exceeded its event budget of 10"

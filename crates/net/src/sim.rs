@@ -358,7 +358,9 @@ mod tests {
     }
 
     fn line_positions(n: usize, spacing: f64) -> Vec<Point2> {
-        (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]

@@ -216,8 +216,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn line(n: usize, spacing: f64, range: f64) -> Topology {
-        let positions: Vec<Point2> =
-            (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect();
+        let positions: Vec<Point2> = (0..n)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect();
         Topology::from_positions(&positions, range)
     }
 
@@ -294,7 +295,11 @@ mod tests {
         // Triangle where direct edge is expensive: 0-1 (10), 0-2 (1), 2-1 (1).
         let t = Topology::from_edges(
             3,
-            [(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2)), (NodeId(2), NodeId(1))],
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(2), NodeId(1)),
+            ],
         );
         let sp = t.shortest_paths(|a, b| {
             if (a.index().min(b.index()), a.index().max(b.index())) == (0, 1) {

@@ -118,7 +118,8 @@ pub fn triangle_violations(set: &MeasurementSet, tolerance_m: f64) -> Vec<Triang
                 continue;
             };
             for k in (j + 1)..n {
-                let (Some(dik), Some(djk)) = (set.get(NodeId(i), NodeId(k)), set.get(NodeId(j), NodeId(k)))
+                let (Some(dik), Some(djk)) =
+                    (set.get(NodeId(i), NodeId(k)), set.get(NodeId(j), NodeId(k)))
                 else {
                     continue;
                 };

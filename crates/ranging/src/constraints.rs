@@ -70,9 +70,7 @@ impl DistanceCatalog {
     /// `slack_m`.
     pub fn nearest_within(&self, measured: f64, slack_m: f64) -> Option<f64> {
         // Binary search for the insertion point, inspect neighbors.
-        let idx = self
-            .distances
-            .partition_point(|&d| d < measured);
+        let idx = self.distances.partition_point(|&d| d < measured);
         let mut best: Option<f64> = None;
         for k in idx.saturating_sub(1)..=(idx.min(self.distances.len().saturating_sub(1))) {
             if let Some(&d) = self.distances.get(k) {
@@ -162,7 +160,10 @@ mod tests {
         let catalog = DistanceCatalog::from_layout(&grid_positions(), 30.0, 0.05);
         assert!(catalog.is_plausible(9.2, 0.5));
         assert!(!catalog.is_plausible(10.8, 0.5)); // between 9 and 12.73
-        assert_eq!(catalog.nearest_within(12.5, 0.5), catalog.distances().get(1).copied());
+        assert_eq!(
+            catalog.nearest_within(12.5, 0.5),
+            catalog.distances().get(1).copied()
+        );
         assert_eq!(catalog.nearest_within(50.0, 0.5), None);
         assert_eq!(catalog.nearest_within(0.0, 0.5), None);
     }
@@ -241,6 +242,9 @@ mod tests {
     fn serde_roundtrip() {
         let catalog = DistanceCatalog::from_layout(&grid_positions(), 30.0, 0.05);
         let json = serde_json::to_string(&catalog).unwrap();
-        assert_eq!(serde_json::from_str::<DistanceCatalog>(&json).unwrap(), catalog);
+        assert_eq!(
+            serde_json::from_str::<DistanceCatalog>(&json).unwrap(),
+            catalog
+        );
     }
 }

@@ -284,15 +284,15 @@ mod tests {
         // At 9 m on grass, nearly every pair should be measured.
         let m = EmpiricalRangingModel::from_environment(Environment::Grass);
         let mut rng = seeded(6);
-        let positions: Vec<Point2> =
-            (0..12).map(|i| Point2::new((i % 4) as f64 * 9.0, (i / 4) as f64 * 9.0)).collect();
+        let positions: Vec<Point2> = (0..12)
+            .map(|i| Point2::new((i % 4) as f64 * 9.0, (i / 4) as f64 * 9.0))
+            .collect();
         let set = m.measure_deployment(&positions, &mut rng);
         // Adjacent pairs (9 m): 17 of them in a 4x3 grid.
         let mut adjacent_measured = 0;
         for i in 0..12usize {
             for j in (i + 1)..12 {
-                if positions[i].distance(positions[j]) < 9.5 && set.contains(NodeId(i), NodeId(j))
-                {
+                if positions[i].distance(positions[j]) < 9.5 && set.contains(NodeId(i), NodeId(j)) {
                     adjacent_measured += 1;
                 }
             }

@@ -14,11 +14,12 @@ use std::collections::BTreeMap;
 use crate::measurement::RangingCampaign;
 
 /// Which statistical filter to apply to repeated measurements of a pair.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum StatFilter {
     /// Keep the first measurement only (the unfiltered baseline).
     None,
     /// Median of all measurements of the pair.
+    #[default]
     Median,
     /// Mode of all measurements, binned at the given width in meters.
     Mode {
@@ -67,19 +68,16 @@ impl StatFilter {
         let mut grouped: BTreeMap<(NodeId, NodeId), Vec<f64>> = BTreeMap::new();
         for s in &campaign.samples {
             if s.round < max_rounds {
-                grouped.entry((s.from, s.to)).or_default().push(s.measured_m);
+                grouped
+                    .entry((s.from, s.to))
+                    .or_default()
+                    .push(s.measured_m);
             }
         }
         grouped
             .into_iter()
             .filter_map(|(pair, ms)| self.reduce(&ms).map(|est| (pair, est)))
             .collect()
-    }
-}
-
-impl Default for StatFilter {
-    fn default() -> Self {
-        StatFilter::Median
     }
 }
 

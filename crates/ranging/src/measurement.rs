@@ -76,8 +76,7 @@ impl RangingCampaign {
 /// Edges are stored once under the ordered key `(min, max)`; lookups accept
 /// either orientation. Weights default to 1 and feed LSS's weighted stress
 /// function `E_w`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(into = "MeasurementSetRepr", from = "MeasurementSetRepr")]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementSet {
     n: usize,
     edges: BTreeMap<(usize, usize), Edge>,
@@ -111,6 +110,28 @@ impl From<MeasurementSetRepr> for MeasurementSet {
             set.insert_weighted(NodeId(a), NodeId(b), d, w);
         }
         set
+    }
+}
+
+// Serialized through `MeasurementSetRepr` (tuple map keys are not valid
+// JSON object keys), mirroring `#[serde(into/from)]`.
+impl Serialize for MeasurementSet {
+    fn to_value(&self) -> serde::Value {
+        MeasurementSetRepr {
+            n: self.n,
+            edges: self
+                .edges
+                .iter()
+                .map(|(&(a, b), e)| (a, b, e.distance, e.weight))
+                .collect(),
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for MeasurementSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        MeasurementSetRepr::from_value(value).map(MeasurementSet::from)
     }
 }
 

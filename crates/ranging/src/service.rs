@@ -180,7 +180,9 @@ impl ServiceConfig {
             return Err(RangingError::InvalidConfig("rounds must be nonzero"));
         }
         if !(self.max_attempt_m > 0.0) {
-            return Err(RangingError::InvalidConfig("max_attempt_m must be positive"));
+            return Err(RangingError::InvalidConfig(
+                "max_attempt_m must be positive",
+            ));
         }
         if self.chirps.validate().is_err() {
             return Err(RangingError::InvalidConfig("invalid chirp configuration"));
@@ -373,7 +375,9 @@ mod tests {
     use rl_math::rng::seeded;
 
     fn small_line(n: usize, spacing: f64) -> Vec<Point2> {
-        (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]
@@ -408,8 +412,8 @@ mod tests {
     #[test]
     fn far_pairs_produce_no_measurements() {
         let mut rng = seeded(2);
-        let svc = RangingService::new(Environment::Grass, ServiceConfig::refined(), &mut rng)
-            .unwrap();
+        let svc =
+            RangingService::new(Environment::Grass, ServiceConfig::refined(), &mut rng).unwrap();
         let positions = small_line(2, 28.0);
         let campaign = svc.run_campaign(&positions, &mut rng);
         assert!(
@@ -422,8 +426,8 @@ mod tests {
     #[test]
     fn campaign_covers_rounds_and_directions() {
         let mut rng = seeded(3);
-        let svc = RangingService::new(Environment::Pavement, ServiceConfig::refined(), &mut rng)
-            .unwrap();
+        let svc =
+            RangingService::new(Environment::Pavement, ServiceConfig::refined(), &mut rng).unwrap();
         let positions = small_line(2, 10.0);
         let campaign = svc.run_campaign(&positions, &mut rng);
         let by_pair = campaign.by_directed_pair();
@@ -449,8 +453,8 @@ mod tests {
     #[test]
     fn faulty_node_errors_are_correlated_across_rounds() {
         let mut rng = seeded(5);
-        let svc = RangingService::new(Environment::Grass, ServiceConfig::refined(), &mut rng)
-            .unwrap();
+        let svc =
+            RangingService::new(Environment::Grass, ServiceConfig::refined(), &mut rng).unwrap();
         let positions = small_line(2, 12.0);
         let mut hardware = vec![NodeHardware::nominal(), NodeHardware::nominal()];
         hardware[1].faulty = true;
@@ -480,8 +484,8 @@ mod tests {
     #[test]
     fn pipeline_produces_consistent_set() {
         let mut rng = seeded(6);
-        let svc = RangingService::new(Environment::Grass, ServiceConfig::refined(), &mut rng)
-            .unwrap();
+        let svc =
+            RangingService::new(Environment::Grass, ServiceConfig::refined(), &mut rng).unwrap();
         let positions = small_line(4, 9.0);
         let (set, campaign) = svc.measurement_set(
             &positions,
@@ -515,8 +519,8 @@ mod tests {
     #[test]
     fn baseline_mode_runs() {
         let mut rng = seeded(8);
-        let svc = RangingService::new(Environment::Urban, ServiceConfig::baseline(), &mut rng)
-            .unwrap();
+        let svc =
+            RangingService::new(Environment::Urban, ServiceConfig::baseline(), &mut rng).unwrap();
         let positions = small_line(2, 10.0);
         let campaign = svc.run_campaign(&positions, &mut rng);
         assert!(!campaign.samples.is_empty());

@@ -122,7 +122,9 @@ impl ChirpTrainConfig {
     /// constraint.
     pub fn validate(&self) -> Result<()> {
         if !(self.sampling_rate_hz > 0.0) {
-            return Err(SignalError::InvalidConfig("sampling_rate_hz must be positive"));
+            return Err(SignalError::InvalidConfig(
+                "sampling_rate_hz must be positive",
+            ));
         }
         if !(self.tone_hz > 0.0) || self.tone_hz * 2.0 > self.sampling_rate_hz {
             return Err(SignalError::InvalidConfig(
@@ -144,7 +146,9 @@ impl ChirpTrainConfig {
             return Err(SignalError::InvalidConfig("rampup_ms must be non-negative"));
         }
         if !(self.max_distance_m > 0.0) {
-            return Err(SignalError::InvalidConfig("max_distance_m must be positive"));
+            return Err(SignalError::InvalidConfig(
+                "max_distance_m must be positive",
+            ));
         }
         Ok(())
     }
@@ -255,7 +259,10 @@ mod tests {
         // Jitter actually varies the gaps.
         let spread = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - gaps.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 1e-4, "gap jitter should vary gaps, spread {spread}");
+        assert!(
+            spread > 1e-4,
+            "gap jitter should vary gaps, spread {spread}"
+        );
     }
 
     #[test]
@@ -275,13 +282,55 @@ mod tests {
     fn validate_rejects_bad_configs() {
         let ok = ChirpTrainConfig::paper();
         for (field, cfg) in [
-            ("fs", ChirpTrainConfig { sampling_rate_hz: 0.0, ..ok.clone() }),
-            ("nyquist", ChirpTrainConfig { tone_hz: 9_000.0, ..ok.clone() }),
-            ("chirp", ChirpTrainConfig { chirp_ms: 0.0, ..ok.clone() }),
-            ("chirps0", ChirpTrainConfig { n_chirps: 0, ..ok.clone() }),
-            ("chirps16", ChirpTrainConfig { n_chirps: 16, ..ok.clone() }),
-            ("gap", ChirpTrainConfig { gap_ms: -1.0, ..ok.clone() }),
-            ("dist", ChirpTrainConfig { max_distance_m: 0.0, ..ok.clone() }),
+            (
+                "fs",
+                ChirpTrainConfig {
+                    sampling_rate_hz: 0.0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "nyquist",
+                ChirpTrainConfig {
+                    tone_hz: 9_000.0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "chirp",
+                ChirpTrainConfig {
+                    chirp_ms: 0.0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "chirps0",
+                ChirpTrainConfig {
+                    n_chirps: 0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "chirps16",
+                ChirpTrainConfig {
+                    n_chirps: 16,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "gap",
+                ChirpTrainConfig {
+                    gap_ms: -1.0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "dist",
+                ChirpTrainConfig {
+                    max_distance_m: 0.0,
+                    ..ok.clone()
+                },
+            ),
         ] {
             assert!(cfg.validate().is_err(), "{field} should be rejected");
         }

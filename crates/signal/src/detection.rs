@@ -151,10 +151,7 @@ pub fn detect_signal(accumulated: &[u8], params: &DetectionParams) -> Option<usi
 /// evidence when available.
 pub fn detect_signal_adaptive(accumulated: &[u8], base: &DetectionParams) -> Option<usize> {
     for threshold in (1..=base.threshold).rev() {
-        let params = DetectionParams {
-            threshold,
-            ..*base
-        };
+        let params = DetectionParams { threshold, ..*base };
         if let Some(idx) = detect_signal(accumulated, &params) {
             return Some(idx);
         }
@@ -234,10 +231,7 @@ mod tests {
         };
         assert_eq!(detect_signal(&buf, &p), Some(60));
         // A stricter threshold misses it entirely.
-        let strict = DetectionParams {
-            threshold: 3,
-            ..p
-        };
+        let strict = DetectionParams { threshold: 3, ..p };
         assert_eq!(detect_signal(&buf, &strict), None);
     }
 
@@ -285,12 +279,8 @@ mod tests {
     fn adaptive_prefers_high_threshold() {
         let mut buf = vec![0u8; 100];
         // Weak noise region at 10 (accumulation 1), strong signal at 60.
-        for i in 10..20 {
-            buf[i] = 1;
-        }
-        for i in 60..80 {
-            buf[i] = 6;
-        }
+        buf[10..20].fill(1);
+        buf[60..80].fill(6);
         let base = DetectionParams {
             threshold: 3,
             window: 8,
@@ -301,9 +291,7 @@ mod tests {
         assert_eq!(detect_signal_adaptive(&buf, &base), Some(60));
         // With only the weak region present, adaptive falls back to T=1.
         let mut weak = vec![0u8; 100];
-        for i in 30..40 {
-            weak[i] = 1;
-        }
+        weak[30..40].fill(1);
         assert_eq!(detect_signal(&weak, &base), None);
         assert_eq!(detect_signal_adaptive(&weak, &base), Some(30));
     }

@@ -194,8 +194,8 @@ impl ReceptionSimulator {
         // fixed offset (correlated across rounds).
         let phantom_offset = (pair.phantom_fraction.clamp(0.0, 0.999) * bufn as f64) as usize;
 
-        let p_direct = self.profile.p_hit(distance_m, pair.sensitivity)
-            * if pair.faulty { 0.5 } else { 1.0 };
+        let p_direct =
+            self.profile.p_hit(distance_m, pair.sensitivity) * if pair.faulty { 0.5 } else { 1.0 };
 
         let mut accumulated = vec![0u8; bufn];
         let mut first_chirp_hits = vec![false; bufn];
@@ -234,9 +234,8 @@ impl ReceptionSimulator {
                 // weak enough that decorrelated (jittered) tails cannot
                 // accumulate to the detection threshold, but a tail repeating
                 // at a fixed offset across chirps can.
-                let p_stale = self.profile.p_hit(0.0, pair.sensitivity)
-                    * self.profile.echo_strength
-                    * 0.35;
+                let p_stale =
+                    self.profile.p_hit(0.0, pair.sensitivity) * self.profile.echo_strength * 0.35;
                 paint_window(&mut hits, offset as f64, chirp_len, rng, |_| p_stale);
             }
 
@@ -409,7 +408,10 @@ mod tests {
                 detections += 1;
             }
         }
-        assert!(detections <= 6, "26 m on grass: {detections}/40 false detections");
+        assert!(
+            detections <= 6,
+            "26 m on grass: {detections}/40 false detections"
+        );
     }
 
     #[test]
@@ -428,7 +430,10 @@ mod tests {
         let near = rate(6.0, &mut rng);
         let mid = rate(14.0, &mut rng);
         let far = rate(21.0, &mut rng);
-        assert!(near >= mid && mid >= far, "rates {near} {mid} {far} not monotone");
+        assert!(
+            near >= mid && mid >= far,
+            "rates {near} {mid} {far} not monotone"
+        );
         assert!(near >= 36);
         assert!(far <= 20);
     }
@@ -485,7 +490,10 @@ mod tests {
                 }
             }
         }
-        assert!(gross >= 10, "faulty hardware produced only {gross} gross errors");
+        assert!(
+            gross >= 10,
+            "faulty hardware produced only {gross} gross errors"
+        );
     }
 
     #[test]
@@ -569,8 +577,9 @@ mod tests {
     fn variation_model_produces_spread() {
         let mut rng = seeded(107);
         let model = VariationModel::default();
-        let pairs: Vec<NodeAcoustics> =
-            (0..300).map(|_| NodeAcoustics::sample(&mut rng, &model)).collect();
+        let pairs: Vec<NodeAcoustics> = (0..300)
+            .map(|_| NodeAcoustics::sample(&mut rng, &model))
+            .collect();
         let sens: Vec<f64> = pairs.iter().map(|p| p.sensitivity).collect();
         let sd = rl_math::stats::std_dev(&sens).unwrap();
         assert!(sd > 0.05, "sensitivity spread {sd}");

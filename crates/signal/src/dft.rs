@@ -388,8 +388,8 @@ mod tests {
             *w = rl_math::rng::normal(&mut rng, 0.0, 0.25);
         }
         // One strong chirp at fs/4 in the middle.
-        for i in 800..1_000 {
-            wave[i] += 1.0 * (core::f64::consts::TAU * 0.25 * i as f64).sin();
+        for (i, w) in wave.iter_mut().enumerate().take(1_000).skip(800) {
+            *w += 1.0 * (core::f64::consts::TAU * 0.25 * i as f64).sin();
         }
         let mut det = XsmToneDetector::new(Band::Quarter);
         let onsets = det.detect_chirps(&wave, 24);

@@ -68,11 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "distributed LSS:  {}/{} localized, avg error {:.3} m \
          ({} local maps, {} messages)",
-        eval.localized,
-        eval.total,
-        eval.mean_error,
-        out.local_maps_built,
-        out.messages_delivered
+        eval.localized, eval.total, eval.mean_error, out.local_maps_built, out.messages_delivered
     );
     Ok(())
 }

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let field = rl_deploy::grid::OffsetGrid::paper_figure5()
         .generate()
         .without_nodes(&[0]);
-    println!("== acoustic ranging on {} ({} nodes) ==", field.name, field.len());
+    println!(
+        "== acoustic ranging on {} ({} nodes) ==",
+        field.name,
+        field.len()
+    );
 
     // Calibrate and run the refined ranging service: 6 rounds of 10-chirp
     // trains per ordered pair, 4.3 kHz tone, T=2 / k=6-of-32 detection.
@@ -55,8 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Multilateration with 13 random anchors (the paper's Figure 14).
     println!("\n== multilateration, 13 random anchors ==");
-    let anchor_ids = rl_deploy::AnchorSelection::Random { count: 13 }
-        .select(&rl_deploy::Deployment::new("grid", field.positions.clone()), &mut rng);
+    let anchor_ids = rl_deploy::AnchorSelection::Random { count: 13 }.select(
+        &rl_deploy::Deployment::new("grid", field.positions.clone()),
+        &mut rng,
+    );
     let anchors = Anchor::from_truth(&anchor_ids, &field.positions);
     let solver = MultilaterationSolver::new(MultilaterationConfig::paper());
     match solver.solve(&set, &anchors, &mut rng) {

@@ -26,12 +26,17 @@ fn acoustic_to_position_pipeline() {
 
     let estimates = StatFilter::Median.apply(&campaign);
     let set = merge_bidirectional(&estimates, campaign.n, &ConsistencyConfig::default());
-    assert!(set.average_degree() > 3.0, "degree {}", set.average_degree());
+    assert!(
+        set.average_degree() > 3.0,
+        "degree {}",
+        set.average_degree()
+    );
 
     let config = LssConfig::default().with_min_spacing(9.14, 10.0);
-    let solution = LssSolver::new(config).solve(&set, &mut rng).expect("solvable");
-    let eval =
-        evaluate_against_truth(&solution.positions(), &field.positions).expect("evaluable");
+    let solution = LssSolver::new(config)
+        .solve(&set, &mut rng)
+        .expect("solvable");
+    let eval = evaluate_against_truth(&solution.positions(), &field.positions).expect("evaluable");
     assert_eq!(eval.localized, field.len(), "LSS localizes everyone");
     assert!(
         eval.mean_error < 1.2,
@@ -97,8 +102,15 @@ fn distributed_protocol_on_town() {
         truth.len()
     );
     let eval = evaluate_against_truth(&out.positions, truth).expect("evaluable");
-    assert!(eval.mean_error < 1.0, "distributed error {} m", eval.mean_error);
-    assert!(out.messages_delivered > truth.len(), "protocol exchanged messages");
+    assert!(
+        eval.mean_error < 1.0,
+        "distributed error {} m",
+        eval.mean_error
+    );
+    assert!(
+        out.messages_delivered > truth.len(),
+        "protocol exchanged messages"
+    );
 }
 
 /// Determinism across the whole stack: same seed, same result.
@@ -122,8 +134,8 @@ fn full_pipeline_is_deterministic() {
 fn cross_crate_serde_roundtrip() {
     let mut rng = rl_math::rng::seeded(1005);
     let scenario = rl_deploy::Scenario::parking_lot(1005);
-    let set = rl_deploy::SyntheticRanging::paper()
-        .measure_all(&scenario.deployment.positions, &mut rng);
+    let set =
+        rl_deploy::SyntheticRanging::paper().measure_all(&scenario.deployment.positions, &mut rng);
 
     let json = serde_json::to_string(&(&scenario, &set)).expect("serializes");
     let (scenario2, set2): (rl_deploy::Scenario, MeasurementSet) =

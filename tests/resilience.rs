@@ -29,7 +29,9 @@ fn lss_degrades_gracefully_with_sparsity() {
             }
         }
         let config = LssConfig::default().with_min_spacing(9.0, 10.0);
-        let solution = LssSolver::new(config).solve(&sparse, &mut rng).expect("solvable");
+        let solution = LssSolver::new(config)
+            .solve(&sparse, &mut rng)
+            .expect("solvable");
         let eval = evaluate_against_truth(&solution.positions(), &truth).expect("evaluable");
         assert!(
             eval.mean_error < 1.5,
@@ -58,7 +60,9 @@ fn robust_lss_survives_outlier_injection() {
     let config = LssConfig::default()
         .with_min_spacing(9.0, 10.0)
         .with_robust_reweight(RobustReweight::default());
-    let solution = LssSolver::new(config).solve(&set, &mut rng).expect("solvable");
+    let solution = LssSolver::new(config)
+        .solve(&set, &mut rng)
+        .expect("solvable");
     let eval = evaluate_against_truth(&solution.positions(), &truth).expect("evaluable");
     assert!(
         eval.mean_error < 1.0,
@@ -78,7 +82,9 @@ fn lss_tolerates_node_failures() {
     let set = rl_deploy::SyntheticRanging::paper().measure_all(&survivors.positions, &mut rng);
 
     let config = LssConfig::default().with_min_spacing(9.0, 10.0);
-    let solution = LssSolver::new(config).solve(&set, &mut rng).expect("solvable");
+    let solution = LssSolver::new(config)
+        .solve(&set, &mut rng)
+        .expect("solvable");
     let eval =
         evaluate_against_truth(&solution.positions(), &survivors.positions).expect("evaluable");
     assert_eq!(eval.localized, survivors.len());
@@ -130,8 +136,7 @@ fn distributed_survives_lossy_radio() {
         },
         ..DistributedConfig::default().with_min_spacing(9.0, 10.0)
     };
-    let out =
-        run_distributed(&set, &truth, NodeId(5), &config, &mut rng).expect("protocol runs");
+    let out = run_distributed(&set, &truth, NodeId(5), &config, &mut rng).expect("protocol runs");
     assert!(
         out.positions.localized_count() >= 12,
         "only {} of 16 aligned under 20% loss",

@@ -1,0 +1,192 @@
+//! Offline shim for the subset of `criterion` used by the workspace's
+//! benches. It keeps the `criterion_group!` / `criterion_main!` /
+//! `bench_function` / `Bencher::iter` surface, but instead of full
+//! statistical sampling it runs each routine a small, time-bounded number
+//! of iterations and prints a single mean-time line. This keeps
+//! `cargo bench` useful for coarse comparisons and keeps bench targets
+//! cheap enough to execute in CI smoke runs.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// treats every batch size the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to registered bench functions.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            let mean = bencher.elapsed / bencher.iters as u32;
+            println!(
+                "bench: {id:<44} {mean:>12.2?}/iter ({} iters)",
+                bencher.iters
+            );
+        } else {
+            println!("bench: {id:<44} (no iterations)");
+        }
+        self
+    }
+
+    /// Accepted for API compatibility; adjusts nothing beyond the budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Times a closure over a bounded number of iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget || self.iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget || self.iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget || self.iters >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline shim for the subset of `proptest` used by the workspace's
+//! property suites: the [`proptest!`] macro, range/tuple/vec/bool
+//! strategies, `prop_assume!`, and `prop_assert!`.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * sampling is driven by a fixed-seed deterministic RNG, so every run
+//!   explores the same cases (good for CI reproducibility),
+//! * there is **no shrinking** — a failing case panics with the assertion
+//!   message directly,
+//! * strategies are plain samplers (`Strategy::sample`), not value trees.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Re-exported so macro expansions can name the RNG type.
+pub use rand::SeedableRng;
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// A fixed value used as a strategy (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Samples `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+
+    /// A length specification: fixed or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors of `element`, with `size` elements
+    /// (a fixed count or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one sampled case (used by macro expansions).
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum TestCaseOutcome {
+    /// The case's assumptions held and its assertions passed.
+    Pass,
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+}
+
+/// Everything a test module usually imports.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::TestCaseOutcome::Reject;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::TestCaseOutcome::Reject;
+        }
+    };
+}
+
+/// Asserts inside a property; failure panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Defines deterministic property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` expands to a `#[test]`
+/// (the attribute is written inside the macro invocation, as in upstream
+/// proptest) that samples inputs until the configured number of cases has
+/// run, skipping cases rejected by `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                // Seed differs per property so suites don't correlate, but
+                // is fixed across runs for reproducibility.
+                let mut __seed = 0xC0FF_EE00u64;
+                for b in stringify!($name).bytes() {
+                    __seed = __seed.wrapping_mul(31).wrapping_add(b as u64);
+                }
+                let mut __rng =
+                    <$crate::__StdRng as $crate::SeedableRng>::seed_from_u64(__seed);
+                let mut __passed = 0u32;
+                let mut __attempts = 0u32;
+                let __max_attempts = __cfg.cases.saturating_mul(50).max(200);
+                while __passed < __cfg.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest: too many rejected cases in {} ({} attempts, {} passed)",
+                        stringify!($name), __attempts, __passed
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    // The closure gives `prop_assume!` a scope to return
+                    // from without ending the whole test.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome = (|| {
+                        $body
+                        $crate::TestCaseOutcome::Pass
+                    })();
+                    if let $crate::TestCaseOutcome::Pass = __outcome {
+                        __passed += 1;
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in -5.0f64..5.0,
+            n in 1usize..10,
+            flags in proptest::collection::vec(proptest::bool::ANY, 0..4),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x), "x = {x}");
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(flags.len() < 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(
+            n in 0u64..100,
+        ) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::Strategy;
+        let s = crate::collection::vec(0.0f64..1.0, 3usize..7);
+        let mut a = <crate::__StdRng as crate::SeedableRng>::seed_from_u64(9);
+        let mut b = <crate::__StdRng as crate::SeedableRng>::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

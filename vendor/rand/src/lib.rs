@@ -1,0 +1,420 @@
+//! Offline, API-compatible shim for the subset of the `rand` crate (0.9-style
+//! API) used by the `resilient-localization` workspace.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! re-implements the pieces the workspace relies on:
+//!
+//! * [`RngCore`] / [`Rng`] with `random`, `random_range`, `random_bool`,
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed`,
+//! * [`rngs::StdRng`], a deterministic xoshiro256++ generator.
+//!
+//! The stream produced by [`rngs::StdRng`] is *not* the same as upstream
+//! rand's `StdRng` (which is ChaCha12); it is deterministic, seeded, and
+//! statistically sound for simulation purposes, which is all the workspace's
+//! seeding contract requires.
+
+#![deny(missing_docs)]
+
+/// Low-level source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit value (top half of the next word).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    /// rand 0.8 spelling of [`Rng::random`].
+    #[deprecated(note = "use random()")]
+    fn r#gen<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+    {
+        self.random()
+    }
+
+    /// rand 0.8 spelling of [`Rng::random_range`].
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// rand 0.8 spelling of [`Rng::random_bool`].
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.random_bool(p)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A distribution that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: uniform over the full range for integers and
+/// `bool`, uniform over `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+/// rand 0.8 name for [`StandardUniform`].
+pub type Standard = StandardUniform;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for StandardUniform {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<f64> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled from uniformly.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); the tiny modulo
+                // bias of plain `% span` is avoided by widening to 128 bits.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == 0 && end as u64 == u64::MAX as $t as u64 && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    // Full domain: span would overflow u64 for 64-bit types.
+                    return rng.next_u64() as $t;
+                }
+                let span = (end.wrapping_sub(start) as $u as u64).wrapping_add(1);
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = StandardUniform.sample(rng);
+                let x = self.start + unit * (self.end - self.start);
+                // Rounding of start + unit*span can land exactly on `end`
+                // when |start| dwarfs the span; keep the range half-open.
+                if x < self.end {
+                    x
+                } else {
+                    <$t>::max(self.start, <$t>::next_down(self.end))
+                }
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit: $t = StandardUniform.sample(rng);
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// The workspace-standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream rand's `StdRng`; see the crate docs.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s.iter().all(|&w| w == 0) {
+                // xoshiro must not start from the all-zero state.
+                let mut sm = SplitMix64(0);
+                for w in &mut s {
+                    *w = sm.next();
+                }
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias kept for code written against rand's `SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_interval_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.random_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn float_range_stays_half_open_under_rounding() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100_000 {
+            let x = rng.random_range(100.0f64..100.1);
+            assert!((100.0..100.1).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let _ = rng.random_range(i64::MIN..=i64::MAX);
+            let _ = rng.random_range(u64::MIN..=u64::MAX);
+            let _ = rng.random_range(i8::MIN..=i8::MAX);
+        }
+        // Non-degenerate: full-domain draws vary.
+        let a: Vec<i64> = (0..8)
+            .map(|_| rng.random_range(i64::MIN..=i64::MAX))
+            .collect();
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+}

@@ -1,0 +1,548 @@
+//! Offline, API-compatible shim for the subset of `serde` used by the
+//! `resilient-localization` workspace.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements a simplified serialization framework under serde's names:
+//! [`Serialize`] and [`Deserialize`] convert through an owned [`Value`] tree
+//! rather than through serde's visitor machinery, and the companion
+//! `serde_derive` crate generates those impls for plain structs and enums.
+//! The `serde_json` shim then renders [`Value`] as real JSON text.
+//!
+//! Supported surface: `#[derive(Serialize, Deserialize)]` on structs (named,
+//! tuple, unit), enums (unit/tuple/struct variants), one level of generics,
+//! plus manual impls for the std types the workspace stores.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A serialized value tree — the data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with arbitrary keys (structs use string keys).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Borrows the entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(Value, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Creates a "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        };
+        Error(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Owned-deserialization alias, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ------------------------------------------------------------------
+// Derive support (hidden; called by serde_derive-generated code).
+// ------------------------------------------------------------------
+
+/// Looks up a struct field by name and deserializes it.
+#[doc(hidden)]
+pub fn __get_field<T: Deserialize>(entries: &[(Value, Value)], name: &str) -> Result<T, Error> {
+    for (k, v) in entries {
+        if let Value::Str(s) = k {
+            if s == name {
+                return T::from_value(v);
+            }
+        }
+    }
+    Err(Error::custom(format!("missing field `{name}`")))
+}
+
+// ------------------------------------------------------------------
+// Primitive impls.
+// ------------------------------------------------------------------
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+macro_rules! impl_serde_unsigned_wide {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(n) => Value::I64(n),
+                    Err(_) => Value::U64(*self as u64),
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned_wide!(u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(x) => Ok(*x as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    other => Err(Error::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("char", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Deserializes by interning the string into a process-global table
+    /// (leaked once per distinct string), so repeated deserialization of
+    /// the same names — e.g. environment profiles — costs one leak total.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        use std::collections::BTreeSet;
+        use std::sync::Mutex;
+        use std::sync::OnceLock;
+
+        static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("string", value))?;
+        let table = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+        let mut guard = table.lock().expect("intern table poisoned");
+        if let Some(existing) = guard.get(s) {
+            return Ok(existing);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        guard.insert(leaked);
+        Ok(leaked)
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Reference / smart-pointer impls.
+// ------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+// ------------------------------------------------------------------
+// Container impls.
+// ------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + core::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected {N} elements, found {}", v.len())))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("tuple sequence", value))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, found {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Value::Map(entries.map(|(k, v)| (k.to_value(), v.to_value())).collect())
+}
+
+fn map_from_value<K, V>(value: &Value) -> Result<Vec<(K, V)>, Error>
+where
+    K: Deserialize,
+    V: Deserialize,
+{
+    match value {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?)))
+            .collect(),
+        // Maps with non-string keys render to JSON as arrays of [k, v] pairs.
+        Value::Seq(items) => items
+            .iter()
+            .map(|pair| {
+                let kv = pair
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("[key, value] pair", pair))?;
+                if kv.len() != 2 {
+                    return Err(Error::custom("expected [key, value] pair"));
+                }
+                Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+            })
+            .collect(),
+        other => Err(Error::expected("map", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(map_from_value::<K, V>(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(value)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(value)?.into_iter().collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trips_through_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u32).to_value(), Value::I64(3));
+    }
+
+    #[test]
+    fn map_with_tuple_keys_round_trips_via_pairs() {
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), 7.5f64);
+        let v = m.to_value();
+        let back: BTreeMap<(u32, u32), f64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+}

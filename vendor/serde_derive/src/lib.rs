@@ -1,0 +1,460 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! parses the derive input by hand (no `syn`/`quote`) and emits impls of the
+//! shim's `Serialize`/`Deserialize` traits as source text. Supported shapes:
+//!
+//! * structs with named fields, tuple structs, unit structs,
+//! * enums with unit, tuple, and struct variants,
+//! * simple type generics (each parameter gets a `Serialize`/`Deserialize`
+//!   bound).
+//!
+//! Container/field `#[serde(...)]` attributes are accepted but ignored —
+//! types needing them (e.g. `into`/`from` reprs) write manual impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants: name plus shape.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    /// Type-parameter identifiers, e.g. `["P"]` for `FloodMsg<P>`.
+    generics: Vec<String>,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let mut out = String::new();
+
+    let (impl_generics, ty_generics) = generics_strings(&parsed.generics, "::serde::Serialize");
+    out.push_str(&format!(
+        "#[automatically_derived]\nimpl{impl_generics} ::serde::Serialize for {}{ty_generics} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n",
+        parsed.name
+    ));
+
+    match &parsed.body {
+        Body::Struct(fields) => {
+            out.push_str("::serde::Value::Map(vec![\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "(::serde::Value::Str(\"{f}\".to_string()), ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("])\n");
+        }
+        Body::Tuple(n) => {
+            out.push_str("::serde::Value::Seq(vec![\n");
+            for i in 0..*n {
+                out.push_str(&format!("::serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            out.push_str("])\n");
+        }
+        Body::Unit => out.push_str("::serde::Value::Null\n"),
+        Body::Enum(variants) => {
+            out.push_str("match self {\n");
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => out.push_str(&format!(
+                        "Self::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        out.push_str(&format!(
+                            "Self::{v}({}) => ::serde::Value::Map(vec![(\
+                             ::serde::Value::Str(\"{v}\".to_string()), \
+                             ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        out.push_str(&format!(
+                            "Self::{v} {{ {} }} => ::serde::Value::Map(vec![(\
+                             ::serde::Value::Str(\"{v}\".to_string()), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            fields.join(", "),
+                            fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(::serde::Value::Str(\"{f}\".to_string()), \
+                                     ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+
+    out.push_str("}\n}\n");
+    out.parse().expect("serde_derive produced invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let mut out = String::new();
+
+    let (impl_generics, ty_generics) = generics_strings(&parsed.generics, "::serde::Deserialize");
+    out.push_str(&format!(
+        "#[automatically_derived]\nimpl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n",
+        parsed.name
+    ));
+
+    match &parsed.body {
+        Body::Struct(fields) => {
+            out.push_str(
+                "let __map = __value.as_map()\
+                 .ok_or_else(|| ::serde::Error::expected(\"struct map\", __value))?;\n",
+            );
+            out.push_str("Ok(Self {\n");
+            for f in fields {
+                out.push_str(&format!("{f}: ::serde::__get_field(__map, \"{f}\")?,\n"));
+            }
+            out.push_str("})\n");
+        }
+        Body::Tuple(n) => {
+            out.push_str(&format!(
+                "let __seq = __value.as_seq()\
+                 .ok_or_else(|| ::serde::Error::expected(\"tuple sequence\", __value))?;\n\
+                 if __seq.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(format!(\
+                 \"expected {n} fields, found {{}}\", __seq.len())));\n}}\n"
+            ));
+            out.push_str("Ok(Self(\n");
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::Deserialize::from_value(&__seq[{i}])?,\n"
+                ));
+            }
+            out.push_str("))\n");
+        }
+        Body::Unit => out.push_str("let _ = __value;\nOk(Self)\n"),
+        Body::Enum(variants) => {
+            // Unit variants arrive as Str(name); data variants as a
+            // single-entry Map { name => payload }.
+            out.push_str("if let Some(__s) = __value.as_str() {\nmatch __s {\n");
+            for (v, shape) in variants {
+                if matches!(shape, VariantShape::Unit) {
+                    out.push_str(&format!("\"{v}\" => return Ok(Self::{v}),\n"));
+                }
+            }
+            out.push_str(
+                "other => return Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{other}`\"))),\n}\n}\n",
+            );
+            out.push_str(
+                "let __map = __value.as_map()\
+                 .ok_or_else(|| ::serde::Error::expected(\"enum map\", __value))?;\n\
+                 if __map.len() != 1 {\n\
+                 return Err(::serde::Error::custom(\"expected single-entry enum map\"));\n}\n\
+                 let (__tag, __payload) = &__map[0];\n\
+                 let __tag = __tag.as_str()\
+                 .ok_or_else(|| ::serde::Error::expected(\"variant name\", __tag))?;\n\
+                 match __tag {\n",
+            );
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __seq = __payload.as_seq()\
+                             .ok_or_else(|| ::serde::Error::expected(\"variant payload\", __payload))?;\n\
+                             if __seq.len() != {n} {{\n\
+                             return Err(::serde::Error::custom(\"wrong variant arity\"));\n}}\n\
+                             Ok(Self::{v}(\n"
+                        ));
+                        for i in 0..*n {
+                            out.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__seq[{i}])?,\n"
+                            ));
+                        }
+                        out.push_str("))\n}\n");
+                    }
+                    VariantShape::Struct(fields) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __fields = __payload.as_map()\
+                             .ok_or_else(|| ::serde::Error::expected(\"variant fields\", __payload))?;\n\
+                             Ok(Self::{v} {{\n"
+                        ));
+                        for f in fields {
+                            out.push_str(&format!(
+                                "{f}: ::serde::__get_field(__fields, \"{f}\")?,\n"
+                            ));
+                        }
+                        out.push_str("})\n}\n");
+                    }
+                }
+            }
+            out.push_str(
+                "other => Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{other}`\"))),\n}\n",
+            );
+        }
+    }
+
+    out.push_str("}\n}\n");
+    out.parse().expect("serde_derive produced invalid Rust")
+}
+
+fn generics_strings(params: &[String], bound: &str) -> (String, String) {
+    if params.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let with_bounds: Vec<String> = params.iter().map(|p| format!("{p}: {bound}")).collect();
+        (
+            format!("<{}>", with_bounds.join(", ")),
+            format!("<{}>", params.join(", ")),
+        )
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    let generics = parse_generics(&tokens, &mut pos);
+    skip_where_clause(&tokens, &mut pos);
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    };
+
+    Input {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1; // '#'
+        if matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *pos += 1;
+        }
+        *pos += 1; // bracket group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        // pub(crate), pub(super), ...
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` after the type name, returning type-parameter idents
+/// (lifetimes and const params are skipped; bounds are dropped).
+fn parse_generics(tokens: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *pos += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut in_lifetime = false;
+    while depth > 0 {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                in_lifetime = false;
+                *pos += 1;
+                continue;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => in_lifetime = true,
+            Some(TokenTree::Ident(i)) if at_param_start => {
+                let s = i.to_string();
+                if in_lifetime {
+                    in_lifetime = false;
+                } else if s == "const" {
+                    // const generic: next ident is the param name but it is
+                    // not a type param; record nothing and stop looking at
+                    // this position.
+                } else {
+                    params.push(s);
+                }
+                at_param_start = false;
+            }
+            None => panic!("serde_derive: unterminated generics"),
+            _ => {}
+        }
+        *pos += 1;
+    }
+    params
+}
+
+fn skip_where_clause(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "where") {
+        // Skip until the body group (brace) or end (tuple struct `;`).
+        while let Some(t) = tokens.get(*pos) {
+            if matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace) {
+                break;
+            }
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses `{ a: T, b: U }`, returning field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        fields.push(name);
+        // Skip `: Type` until a comma at angle-bracket depth 0. Groups are
+        // atomic tokens, so only `<`/`>` need tracking.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(pos) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct/variant: commas at angle depth 0, plus one.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut prev_comma = false;
+    for t in &tokens {
+        prev_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                prev_comma = true;
+            }
+            _ => {}
+        }
+    }
+    // Trailing comma: `(T,)` has one field, not two.
+    if prev_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip discriminant (`= expr`) and the separating comma.
+        while let Some(t) = tokens.get(pos) {
+            pos += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
