@@ -1,0 +1,381 @@
+//! Scenario-driven campaign execution: a (scenarios × localizers × seeds)
+//! grid run through the unified [`Localizer`] trait.
+//!
+//! The paper's experimental object is never a single solve — it is the
+//! *comparison matrix*: every algorithm family on the same deployments,
+//! summarized as a head-to-head table. A [`Campaign`] encodes that matrix
+//! once: problem sources on one axis (named [`Scenario`]s instantiated per
+//! seed, or fixed pre-measured [`Problem`]s), boxed localizers on the
+//! second, seeds on the third. [`Campaign::run`] executes every cell
+//! deterministically and returns a [`CampaignReport`] with per-run records
+//! and per-cell [`Evaluation`] summaries.
+//!
+//! ```
+//! use rl_bench::campaign::Campaign;
+//! use rl_core::lss::{LssConfig, LssSolver};
+//! use rl_core::mds::MdsMapLocalizer;
+//! use rl_deploy::Scenario;
+//!
+//! let report = Campaign::new()
+//!     .scenario(Scenario::parking_lot(7))
+//!     .localizer(Box::new(LssSolver::new(LssConfig::default())))
+//!     .localizer(Box::new(MdsMapLocalizer::new()))
+//!     .trials(1, 2)
+//!     .run();
+//! assert_eq!(report.runs.len(), 4);
+//! println!("{}", report.summary_table());
+//! ```
+
+use rl_core::eval::Evaluation;
+use rl_core::problem::{Localizer, Problem, Solution};
+use rl_core::{LocalizationError, LssConfig, LssSolver, MultilaterationConfig};
+use rl_deploy::Scenario;
+
+use crate::report::m;
+use crate::Table;
+
+/// Where a campaign cell's problems come from.
+enum ProblemSource {
+    /// A named scenario, instantiated freshly for every seed (new
+    /// synthetic measurements per trial).
+    Scenario(Scenario),
+    /// A fixed, pre-measured problem shared by every trial (seeds then
+    /// vary only the solvers' randomness) — e.g. field measurements from
+    /// the acoustic ranging service.
+    Fixed(Problem),
+}
+
+impl ProblemSource {
+    fn name(&self) -> &str {
+        match self {
+            ProblemSource::Scenario(s) => &s.name,
+            ProblemSource::Fixed(p) => p.name(),
+        }
+    }
+
+    fn instantiate(&self, seed: u64) -> Problem {
+        match self {
+            ProblemSource::Scenario(s) => s.instantiate(seed),
+            ProblemSource::Fixed(p) => p.clone(),
+        }
+    }
+}
+
+/// A (scenarios × localizers × seeds) execution grid.
+///
+/// Built with the chained methods below; [`Campaign::run`] executes the
+/// full grid. Runs are deterministic: each `(source, seed, localizer)`
+/// cell derives its own RNG stream, so re-running a campaign reproduces
+/// it bit-for-bit (wall-clock timings aside).
+#[derive(Default)]
+pub struct Campaign {
+    sources: Vec<ProblemSource>,
+    localizers: Vec<Box<dyn Localizer>>,
+    seeds: Vec<u64>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Campaign::default()
+    }
+
+    /// Adds a scenario, instantiated freshly for every seed.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.sources.push(ProblemSource::Scenario(scenario));
+        self
+    }
+
+    /// Adds a fixed, pre-measured problem shared by every seed.
+    pub fn problem(mut self, problem: Problem) -> Self {
+        self.sources.push(ProblemSource::Fixed(problem));
+        self
+    }
+
+    /// Adds a localizer to the comparison.
+    pub fn localizer(mut self, localizer: Box<dyn Localizer>) -> Self {
+        self.localizers.push(localizer);
+        self
+    }
+
+    /// Adds several localizers at once.
+    pub fn localizers(mut self, localizers: Vec<Box<dyn Localizer>>) -> Self {
+        self.localizers.extend(localizers);
+        self
+    }
+
+    /// Replaces the seed list.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Derives `n` distinct trial seeds from a base seed.
+    pub fn trials(mut self, base_seed: u64, n: usize) -> Self {
+        self.seeds = (0..n as u64)
+            .map(|i| base_seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) | i))
+            .collect();
+        self
+    }
+
+    /// Executes the grid: every source × seed × localizer cell, in that
+    /// nesting order. With no seeds configured, a single seed `0` is
+    /// used.
+    pub fn run(&self) -> CampaignReport {
+        let seeds: &[u64] = if self.seeds.is_empty() {
+            &[0]
+        } else {
+            &self.seeds
+        };
+        let mut runs = Vec::with_capacity(self.sources.len() * seeds.len() * self.localizers.len());
+        for source in &self.sources {
+            for &seed in seeds {
+                let problem = source.instantiate(seed);
+                for (li, localizer) in self.localizers.iter().enumerate() {
+                    // Every cell gets its own deterministic stream so
+                    // adding or reordering localizers cannot perturb the
+                    // others' draws.
+                    let mut rng = rl_math::rng::seeded(
+                        seed ^ (li as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                    );
+                    let outcome = localizer.localize(&problem, &mut rng).map(|solution| {
+                        let evaluation = problem.evaluate(&solution).ok();
+                        RunOutcome {
+                            solution,
+                            evaluation,
+                        }
+                    });
+                    runs.push(RunRecord {
+                        scenario: source.name().to_string(),
+                        localizer: localizer.name().to_string(),
+                        seed,
+                        outcome,
+                    });
+                }
+            }
+        }
+        CampaignReport { runs }
+    }
+}
+
+/// One executed cell instance: a localizer on one instantiated problem.
+#[derive(Debug)]
+pub struct RunRecord {
+    /// The problem source's name.
+    pub scenario: String,
+    /// The localizer's name.
+    pub localizer: String,
+    /// The seed the run derived its problem and RNG stream from.
+    pub seed: u64,
+    /// The solve outcome, or the solver's error.
+    pub outcome: Result<RunOutcome, LocalizationError>,
+}
+
+/// A successful run: the solution plus its evaluation against ground
+/// truth (when the problem carried truth and evaluation succeeded).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The localizer's solution.
+    pub solution: Solution,
+    /// Evaluation against ground truth; `None` without truth or when no
+    /// (non-anchor) node was localized.
+    pub evaluation: Option<Evaluation>,
+}
+
+/// The output of [`Campaign::run`]: per-run records plus aggregation
+/// helpers.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Every run, in execution order (source-major, then seed, then
+    /// localizer).
+    pub runs: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// The distinct `(scenario, localizer)` cells, in first-appearance
+    /// order.
+    pub fn cells(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = Vec::new();
+        for r in &self.runs {
+            let key = (r.scenario.clone(), r.localizer.clone());
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        out
+    }
+
+    /// Every run of one cell, in execution order.
+    pub fn runs_for(&self, scenario: &str, localizer: &str) -> Vec<&RunRecord> {
+        self.runs
+            .iter()
+            .filter(|r| r.scenario == scenario && r.localizer == localizer)
+            .collect()
+    }
+
+    /// Mean localization error of a cell over its evaluated runs, or
+    /// `None` when no run produced an evaluation.
+    pub fn mean_error(&self, scenario: &str, localizer: &str) -> Option<f64> {
+        let errors: Vec<f64> = self
+            .runs_for(scenario, localizer)
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .filter_map(|o| o.evaluation.as_ref())
+            .map(|e| e.mean_error)
+            .collect();
+        if errors.is_empty() {
+            None
+        } else {
+            Some(errors.iter().sum::<f64>() / errors.len() as f64)
+        }
+    }
+
+    /// The per-cell summary table: runs, solver failures, mean localized
+    /// count, mean error, and mean wall time.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            "campaign summary",
+            &[
+                "scenario",
+                "localizer",
+                "runs",
+                "failed",
+                "localized",
+                "mean_error_m",
+                "mean_wall_ms",
+            ],
+        );
+        for (scenario, localizer) in self.cells() {
+            let runs = self.runs_for(&scenario, &localizer);
+            let failed = runs.iter().filter(|r| r.outcome.is_err()).count();
+            let evals: Vec<&Evaluation> = runs
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok())
+                .filter_map(|o| o.evaluation.as_ref())
+                .collect();
+            let localized = if evals.is_empty() {
+                "n/a".to_string()
+            } else {
+                let mean_loc =
+                    evals.iter().map(|e| e.localized as f64).sum::<f64>() / evals.len() as f64;
+                format!("{:.1}/{}", mean_loc, evals[0].total)
+            };
+            let mean_error = self
+                .mean_error(&scenario, &localizer)
+                .map(m)
+                .unwrap_or_else(|| "n/a".to_string());
+            let wall: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| r.outcome.as_ref().ok())
+                .map(|o| o.solution.stats().wall_time.as_secs_f64() * 1e3)
+                .collect();
+            let mean_wall = if wall.is_empty() {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}", wall.iter().sum::<f64>() / wall.len() as f64)
+            };
+            t.push(&[
+                scenario,
+                localizer,
+                runs.len().to_string(),
+                failed.to_string(),
+                localized,
+                mean_error,
+                mean_wall,
+            ]);
+        }
+        t
+    }
+}
+
+/// The canonical head-to-head campaign of the paper's evaluation: every
+/// algorithm family on the Figure-5 grass grid (46 reporting motes, 13
+/// random anchors, synthetic 22 m / N(0, 0.33 m) ranging). Used by both
+/// the `BASELINES` bench experiment and the `compare_solvers` example.
+///
+/// LSS appears twice: anchor-free (the paper's algorithm — it never sees
+/// the 13 anchors the other schemes get) and anchored (this library's
+/// extension pinning anchors with springs).
+pub fn figure5_head_to_head(seed: u64) -> Campaign {
+    use rl_core::baselines::{CentroidLocalizer, DvHopLocalizer};
+    use rl_core::distributed::{DistributedConfig, DistributedSolver};
+    use rl_core::mds::MdsMapLocalizer;
+    use rl_core::MultilaterationSolver;
+    use rl_net::RadioModel;
+
+    const RANGE_M: f64 = 22.0;
+    Campaign::new()
+        .scenario(Scenario::grass_grid_multilateration(seed))
+        .localizer(Box::new(LssSolver::new(
+            LssConfig::default()
+                .with_min_spacing(9.14, 10.0)
+                .anchor_free(),
+        )))
+        .localizer(Box::new(LssSolver::new(
+            LssConfig::default().with_min_spacing(9.14, 10.0),
+        )))
+        .localizer(Box::new(MultilaterationSolver::new(
+            MultilaterationConfig::paper(),
+        )))
+        .localizer(Box::new(MultilaterationSolver::new(
+            MultilaterationConfig::paper().progressive(),
+        )))
+        .localizer(Box::new(DistributedSolver::new(
+            DistributedConfig::default().with_min_spacing(9.14, 10.0),
+        )))
+        .localizer(Box::new(MdsMapLocalizer::new()))
+        .localizer(Box::new(DvHopLocalizer::new(RadioModel::ideal(RANGE_M))))
+        .localizer(Box::new(CentroidLocalizer::new(RANGE_M)))
+        .seeds(&[seed])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_core::mds::MdsMapLocalizer;
+
+    #[test]
+    fn grid_executes_every_cell_deterministically() {
+        let build = || {
+            Campaign::new()
+                .scenario(Scenario::parking_lot(3))
+                .localizer(Box::new(LssSolver::new(LssConfig::default())))
+                .localizer(Box::new(MdsMapLocalizer::new()))
+                .trials(7, 2)
+        };
+        let a = build().run();
+        assert_eq!(a.runs.len(), 4, "1 scenario x 2 seeds x 2 localizers");
+        assert_eq!(a.cells().len(), 2);
+        assert_eq!(a.runs_for("parking-lot-15-5anchors", "mds-map").len(), 2);
+
+        let b = build().run();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            let ea = ra.outcome.as_ref().unwrap().evaluation.as_ref().unwrap();
+            let eb = rb.outcome.as_ref().unwrap().evaluation.as_ref().unwrap();
+            assert_eq!(ea.mean_error, eb.mean_error, "campaigns must reproduce");
+        }
+
+        let table = a.summary_table();
+        assert_eq!(table.len(), 2);
+        let csv = table.to_csv();
+        assert!(csv.contains("mds-map"));
+        assert!(!csv.contains("NaN"));
+    }
+
+    #[test]
+    fn solver_errors_are_recorded_not_fatal() {
+        use rl_core::baselines::CentroidLocalizer;
+        // A scenario with zero anchors: centroid must fail per run, and
+        // the report must say so without panicking.
+        let report = Campaign::new()
+            .scenario(Scenario::grass_grid())
+            .localizer(Box::new(CentroidLocalizer::new(22.0)))
+            .seeds(&[1])
+            .run();
+        assert_eq!(report.runs.len(), 1);
+        assert!(report.runs[0].outcome.is_err());
+        assert_eq!(report.mean_error("grass-grid-47", "centroid"), None);
+        let csv = report.summary_table().to_csv();
+        assert!(csv.contains("n/a"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Distributed-LSS experiments: Figures 24 and 25, plus the
 //! transform-method ablation.
 
-use rl_core::distributed::{run_distributed, DistributedConfig, TransformMethod};
+use rl_core::distributed::{DistributedConfig, DistributedSolver, TransformMethod};
 use rl_core::eval::evaluate_against_truth;
 use rl_deploy::synth::SyntheticRanging;
 use rl_geom::Point2;
@@ -40,7 +40,10 @@ fn run_and_summarize(
 ) -> (Table, usize, f64) {
     let mut rng = rl_math::rng::seeded(seed);
     let root = root_near(truth, Point2::new(27.0, 36.0));
-    let out = run_distributed(set, truth, root, config, &mut rng).expect("protocol runs");
+    let out = DistributedSolver::new(config.clone())
+        .with_root(root)
+        .solve(set, truth, &mut rng)
+        .expect("protocol runs");
 
     let mut t = Table::new("summary", &["metric", "value"]);
     t.push(&["nodes".into(), truth.len().to_string()]);

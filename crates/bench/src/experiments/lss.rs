@@ -1,8 +1,14 @@
 //! Centralized-LSS experiments: Figures 17/18, 19, 21, 22 and 23, plus the
 //! soft-constraint-weight and initialization ablations.
+//!
+//! The per-trial figures run through the [`Campaign`] grid and the unified
+//! [`Localizer`](rl_core::problem::Localizer) trait; only the
+//! trace-recording Figure 23 and the ablations drive the inherent
+//! [`LssSolver`] API directly (traces are not part of the trait surface).
 
 use rl_core::eval::evaluate_against_truth;
 use rl_core::lss::{InitStrategy, LssConfig, LssSolver};
+use rl_core::problem::Problem;
 use rl_core::types::PositionMap;
 use rl_deploy::synth::SyntheticRanging;
 use rl_deploy::Scenario;
@@ -12,7 +18,7 @@ use rl_ranging::measurement::MeasurementSet;
 use super::multilateration::grass_grid_measurements;
 use super::ExperimentResult;
 use crate::report::m;
-use crate::Table;
+use crate::{Campaign, Table};
 
 /// The paper's grass-grid constraint parameters.
 const GRID_MIN_SPACING: f64 = 9.14;
@@ -81,13 +87,29 @@ fn fixed_budget(config: LssConfig) -> LssConfig {
     LssConfig { descent, ..config }
 }
 
-/// Runs `TRIALS` independent LSS solves and tabulates per-trial outcomes.
+/// Wraps a pre-measured set into an anchor-free [`Problem`] for the
+/// campaign runner (the LSS figures always solve anchor-free, as the
+/// paper does).
+fn lss_problem(set: MeasurementSet, truth: &[Point2], name: &str) -> Problem {
+    Problem::builder(set)
+        .name(name)
+        .truth(truth.to_vec())
+        .build()
+        .expect("figure measurement sets are consistent")
+}
+
+/// Runs `TRIALS` independent LSS solves of one fixed problem through the
+/// campaign grid and tabulates per-trial outcomes.
 fn trial_table(
-    set: &MeasurementSet,
-    truth: &[Point2],
-    make_config: impl Fn() -> LssConfig,
+    problem: Problem,
+    config: LssConfig,
     seed: u64,
 ) -> (Table, Vec<f64>, rl_core::eval::Evaluation) {
+    let report = Campaign::new()
+        .problem(problem)
+        .localizer(Box::new(LssSolver::new(config)))
+        .trials(seed, TRIALS)
+        .run();
     let mut t = Table::new(
         "per-trial outcomes",
         &[
@@ -100,18 +122,27 @@ fn trial_table(
     );
     let mut errors = Vec::with_capacity(TRIALS);
     let mut best: Option<(f64, rl_core::eval::Evaluation)> = None;
-    for trial in 0..TRIALS {
-        let (eval, solution) = run_lss(set, truth, make_config(), seed ^ (trial as u64) << 8);
+    for (trial, record) in report.runs.iter().enumerate() {
+        let outcome = record.outcome.as_ref().expect("measurement set is usable");
+        let eval = outcome
+            .evaluation
+            .as_ref()
+            .expect("all nodes localized by LSS");
+        let stress = outcome
+            .solution
+            .stats()
+            .residual
+            .expect("LSS reports stress");
         t.push(&[
             trial.to_string(),
             m(eval.mean_error),
             m(eval.mean_error_without_worst(5)),
-            format!("{:.1}", solution.stress()),
-            solution.iterations().to_string(),
+            format!("{stress:.1}"),
+            outcome.solution.stats().iterations.to_string(),
         ]);
         errors.push(eval.mean_error);
-        if best.as_ref().is_none_or(|(s, _)| solution.stress() < *s) {
-            best = Some((solution.stress(), eval));
+        if best.as_ref().is_none_or(|(s, _)| stress < *s) {
+            best = Some((stress, eval.clone()));
         }
     }
     (t, errors, best.expect("at least one trial").1)
@@ -128,9 +159,8 @@ pub fn figure18_grid_constrained(seed: u64) -> ExperimentResult {
     let (scenario, set) = grass_grid_measurements(seed);
     let truth = &scenario.deployment.positions;
     let (trials, errors, best_eval) = trial_table(
-        &set,
-        truth,
-        || LssConfig::default().with_min_spacing(GRID_MIN_SPACING, GRID_WD),
+        lss_problem(set.clone(), truth, "grass-grid-field"),
+        LssConfig::default().with_min_spacing(GRID_MIN_SPACING, GRID_WD),
         seed ^ 0x18,
     );
     let med = rl_math::stats::median_of(&errors).unwrap_or(f64::NAN);
@@ -158,9 +188,8 @@ pub fn figure19_grid_unconstrained(seed: u64) -> ExperimentResult {
     let (scenario, set) = grass_grid_measurements(seed);
     let truth = &scenario.deployment.positions;
     let (trials, errors, best_eval) = trial_table(
-        &set,
-        truth,
-        || LssConfig::default().without_constraint(),
+        lss_problem(set.clone(), truth, "grass-grid-field"),
+        LssConfig::default().without_constraint(),
         seed ^ 0x19,
     );
     let med = rl_math::stats::median_of(&errors).unwrap_or(f64::NAN);
@@ -190,9 +219,8 @@ pub fn figure21_town_constrained(seed: u64) -> ExperimentResult {
     let (scenario, set) = town_measurements(seed);
     let truth = &scenario.deployment.positions;
     let (trials, errors, best_eval) = trial_table(
-        &set,
-        truth,
-        || fixed_budget(LssConfig::default().with_min_spacing(9.0, GRID_WD)),
+        lss_problem(set.clone(), truth, "town-synthetic"),
+        fixed_budget(LssConfig::default().with_min_spacing(9.0, GRID_WD)),
         seed ^ 0x22,
     );
     let med = rl_math::stats::median_of(&errors).unwrap_or(f64::NAN);
@@ -214,9 +242,8 @@ pub fn figure22_town_unconstrained(seed: u64) -> ExperimentResult {
     let (scenario, set) = town_measurements(seed);
     let truth = &scenario.deployment.positions;
     let (trials, errors, best_eval) = trial_table(
-        &set,
-        truth,
-        || fixed_budget(LssConfig::default().without_constraint()),
+        lss_problem(set.clone(), truth, "town-synthetic"),
+        fixed_budget(LssConfig::default().without_constraint()),
         seed ^ 0x23,
     );
     let med = rl_math::stats::median_of(&errors).unwrap_or(f64::NAN);

@@ -1,8 +1,18 @@
 //! Multilateration experiments: Figures 11, 12, 13/14, 15/16 and 20.
+//!
+//! The solver figures (12, 14, 16, 20) run through the [`Campaign`] grid
+//! and the unified [`Localizer`](rl_core::problem::Localizer) trait —
+//! non-anchor error accounting comes from
+//! [`Problem::evaluate`](rl_core::problem::Problem::evaluate), which
+//! excludes anchors from the metric exactly as the paper reports it. The
+//! intersection-consistency illustration (Figure 11) exercises the check
+//! directly.
 
 use rl_core::multilateration::{
-    IntersectionConsistency, MultilaterationConfig, MultilaterationSolver, RangeToAnchor,
+    mean_anchors_available, IntersectionConsistency, MultilaterationConfig, MultilaterationSolver,
+    RangeToAnchor,
 };
+use rl_core::problem::Problem;
 use rl_core::types::{Anchor, PositionMap};
 use rl_deploy::synth::SyntheticRanging;
 use rl_deploy::Scenario;
@@ -16,31 +26,32 @@ use rl_signal::env::Environment;
 
 use super::ExperimentResult;
 use crate::report::{m, pct};
-use crate::Table;
+use crate::{Campaign, Table};
 
-/// Mean error over localized *non-anchor* nodes (anchors sit at truth and
-/// would dilute the metric).
-fn non_anchor_error(
-    positions: &PositionMap,
-    truth: &[Point2],
-    anchors: &[NodeId],
-) -> (usize, f64, Vec<f64>) {
-    let anchor_set: std::collections::BTreeSet<NodeId> = anchors.iter().copied().collect();
-    let mut errors = Vec::new();
-    for (id, pos) in positions.iter() {
-        if anchor_set.contains(&id) {
-            continue;
+/// Runs one multilateration configuration on a fixed problem through the
+/// campaign grid, returning `(solution positions, localized non-anchors,
+/// mean non-anchor error, sorted non-anchor errors)`.
+fn solve_via_campaign(
+    problem: Problem,
+    config: MultilaterationConfig,
+    seed: u64,
+) -> (PositionMap, usize, f64, Vec<f64>) {
+    let report = Campaign::new()
+        .problem(problem)
+        .localizer(Box::new(MultilaterationSolver::new(config)))
+        .seeds(&[seed])
+        .run();
+    let record = &report.runs[0];
+    let outcome = record.outcome.as_ref().expect("anchors supplied");
+    let positions = outcome.solution.positions().clone();
+    match &outcome.evaluation {
+        Some(eval) => {
+            let mut errors: Vec<f64> = eval.per_node.iter().map(|&(_, e)| e).collect();
+            errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+            (positions, eval.localized, eval.mean_error, errors)
         }
-        if let Some(p) = pos {
-            errors.push(p.distance(truth[id.index()]));
-        }
+        None => (positions, 0, 0.0, Vec::new()),
     }
-    let mean = if errors.is_empty() {
-        0.0
-    } else {
-        errors.iter().sum::<f64>() / errors.len() as f64
-    };
-    (errors.len(), mean, errors)
 }
 
 fn positions_table(positions: &PositionMap, truth: &[Point2]) -> Table {
@@ -185,27 +196,27 @@ pub fn figure12_parking_lot(seed: u64) -> ExperimentResult {
     }
 
     let anchors = Anchor::from_truth(&scenario.anchors, truth);
-    let out = MultilaterationSolver::new(MultilaterationConfig::paper())
-        .solve(&set, &anchors, &mut rng)
-        .expect("5 anchors suffice");
-    let (localized, mean_err, _) = non_anchor_error(&out.positions, truth, &scenario.anchors);
+    let problem = Problem::builder(set)
+        .name("parking-lot-field")
+        .anchors(anchors)
+        .truth(truth.clone())
+        .build()
+        .expect("scenario data is consistent");
+    let (positions, localized, mean_err, _) =
+        solve_via_campaign(problem, MultilaterationConfig::paper(), seed ^ 0x12);
 
     let mut summary = Table::new("summary", &["metric", "value"]);
     summary.push(&["nodes".into(), truth.len().to_string()]);
     summary.push(&["anchors".into(), scenario.anchors.len().to_string()]);
     summary.push(&["localized non-anchors".into(), localized.to_string()]);
     summary.push(&["average error (m)".into(), m(mean_err)]);
-    summary.push(&[
-        "anchors dropped by check".into(),
-        out.anchors_dropped.to_string(),
-    ]);
 
     ExperimentResult::new(
         "F12",
         "15-node parking lot, 5 anchors, one-way baseline ranging",
     )
     .with_table(summary)
-    .with_table(positions_table(&out.positions, truth))
+    .with_table(positions_table(&positions, truth))
     .with_note(format!(
         "paper: average error 0.868 m over 10 non-anchors; measured: {} m over {localized}",
         m(mean_err)
@@ -231,16 +242,21 @@ pub fn grass_grid_measurements(seed: u64) -> (Scenario, MeasurementSet) {
 pub fn figure14_sparse_grid(seed: u64) -> ExperimentResult {
     let (scenario, set) = grass_grid_measurements(seed);
     let truth = &scenario.deployment.positions;
-    let mut rng = rl_math::rng::seeded(seed ^ 0x15);
     let anchors = Anchor::from_truth(&scenario.anchors, truth);
-    let out = MultilaterationSolver::new(MultilaterationConfig::paper())
-        .solve(&set, &anchors, &mut rng)
-        .expect("13 anchors supplied");
-    let (localized, mean_err, _) = non_anchor_error(&out.positions, truth, &scenario.anchors);
+    let available = mean_anchors_available(&set, &anchors);
+    let pairs = set.len();
+    let problem = Problem::builder(set)
+        .name("grass-grid-field")
+        .anchors(anchors)
+        .truth(truth.clone())
+        .build()
+        .expect("scenario data is consistent");
+    let (positions, localized, mean_err, _) =
+        solve_via_campaign(problem, MultilaterationConfig::paper(), seed ^ 0x15);
     let non_anchors = truth.len() - scenario.anchors.len();
 
     let mut summary = Table::new("summary", &["metric", "value"]);
-    summary.push(&["measured pairs".into(), set.len().to_string()]);
+    summary.push(&["measured pairs".into(), pairs.to_string()]);
     summary.push(&["non-anchor nodes".into(), non_anchors.to_string()]);
     summary.push(&[
         "localized".into(),
@@ -249,10 +265,7 @@ pub fn figure14_sparse_grid(seed: u64) -> ExperimentResult {
             pct(localized as f64 / non_anchors as f64)
         ),
     ]);
-    summary.push(&[
-        "mean anchors available per node".into(),
-        m(out.mean_anchors_available),
-    ]);
+    summary.push(&["mean anchors available per node".into(), m(available)]);
     summary.push(&["average error (m)".into(), m(mean_err)]);
 
     ExperimentResult::new(
@@ -260,11 +273,11 @@ pub fn figure14_sparse_grid(seed: u64) -> ExperimentResult {
         "multilateration, sparse grass grid, 13 of 46 anchors",
     )
     .with_table(summary)
-    .with_table(positions_table(&out.positions, truth))
+    .with_table(positions_table(&positions, truth))
     .with_note(format!(
         "paper: 7 of 33 localized (avg 1.47 anchors/node), error 0.7 m; measured: \
              {localized} of {non_anchors} (avg {} anchors/node), error {} m",
-        m(out.mean_anchors_available),
+        m(available),
         m(mean_err)
     ))
 }
@@ -277,23 +290,27 @@ pub fn figure16_augmented_grid(seed: u64) -> ExperimentResult {
     let truth = &scenario.deployment.positions;
     let mut rng = rl_math::rng::seeded(seed ^ 0x16);
     let added = SyntheticRanging::paper().augment(&mut set, truth, &mut rng);
+    let pairs = set.len();
 
     let anchors = Anchor::from_truth(&scenario.anchors, truth);
+    let problem = Problem::builder(set)
+        .name("grass-grid-augmented")
+        .anchors(anchors)
+        .truth(truth.clone())
+        .build()
+        .expect("scenario data is consistent");
     // "Intersection consistency checking was omitted in this localization
     // simulation" (paper footnote 5) — and the paper's solver had no
     // mirror-ambiguity rejection either, which is what produces its
     // "victims of the gradient descent falling into a local minimum".
-    let out = MultilaterationSolver::new(
+    let (positions, localized, mean_err, errors) = solve_via_campaign(
+        problem,
         MultilaterationConfig::paper()
             .with_consistency(false)
             .with_ambiguity_rejection(false),
-    )
-    .solve(&set, &anchors, &mut rng)
-    .expect("anchors supplied");
-    let (localized, mean_err, mut errors) =
-        non_anchor_error(&out.positions, truth, &scenario.anchors);
+        seed ^ 0x16,
+    );
     let non_anchors = truth.len() - scenario.anchors.len();
-    errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let keep = errors.len().saturating_sub(3);
     let trimmed = if keep == 0 {
         0.0
@@ -303,7 +320,7 @@ pub fn figure16_augmented_grid(seed: u64) -> ExperimentResult {
 
     let mut summary = Table::new("summary", &["metric", "value"]);
     summary.push(&["synthetic pairs added".into(), added.to_string()]);
-    summary.push(&["total pairs".into(), set.len().to_string()]);
+    summary.push(&["total pairs".into(), pairs.to_string()]);
     summary.push(&[
         "localized".into(),
         format!(
@@ -311,16 +328,12 @@ pub fn figure16_augmented_grid(seed: u64) -> ExperimentResult {
             pct(localized as f64 / non_anchors as f64)
         ),
     ]);
-    summary.push(&[
-        "mean anchors available".into(),
-        m(out.mean_anchors_available),
-    ]);
     summary.push(&["average error (m)".into(), m(mean_err)]);
     summary.push(&["average error w/o worst 3 (m)".into(), m(trimmed)]);
 
     ExperimentResult::new("F16", "multilateration, grid + synthetic distances")
         .with_table(summary)
-        .with_table(positions_table(&out.positions, truth))
+        .with_table(positions_table(&positions, truth))
         .with_note(format!(
             "paper: ~80% localized, 3.5 m average (0.9 m without 3 gross failures); measured: \
              {} localized, {} m average ({} m without worst 3)",
@@ -335,15 +348,15 @@ pub fn figure16_augmented_grid(seed: u64) -> ExperimentResult {
 pub fn figure20_town(seed: u64) -> ExperimentResult {
     let scenario = Scenario::town(seed);
     let truth = &scenario.deployment.positions;
-    let mut rng = rl_math::rng::seeded(seed ^ 0x20);
-    let set = SyntheticRanging::paper().measure_all(truth, &mut rng);
-    let pairs = set.len();
-
-    let anchors = Anchor::from_truth(&scenario.anchors, truth);
-    let out = MultilaterationSolver::new(MultilaterationConfig::paper().with_consistency(false))
-        .solve(&set, &anchors, &mut rng)
-        .expect("18 anchors supplied");
-    let (localized, mean_err, _) = non_anchor_error(&out.positions, truth, &scenario.anchors);
+    // The scenario bundles the paper's synthetic error model, so the
+    // problem comes straight from `instantiate`.
+    let problem = scenario.instantiate(seed ^ 0x20);
+    let pairs = problem.measurements().len();
+    let (positions, localized, mean_err, _) = solve_via_campaign(
+        problem,
+        MultilaterationConfig::paper().with_consistency(false),
+        seed ^ 0x20,
+    );
     let non_anchors = truth.len() - scenario.anchors.len();
 
     let mut summary = Table::new("summary", &["metric", "value"]);
@@ -360,7 +373,7 @@ pub fn figure20_town(seed: u64) -> ExperimentResult {
 
     ExperimentResult::new("F20", "multilateration, town map, 18 of 59 anchors")
         .with_table(summary)
-        .with_table(positions_table(&out.positions, truth))
+        .with_table(positions_table(&positions, truth))
         .with_note(format!(
             "paper: 35 of 41 localized, ~0.95 m average; measured: {localized} of {non_anchors}, {} m",
             m(mean_err)
@@ -397,11 +410,17 @@ pub fn consistency_ablation(seed: u64) -> ExperimentResult {
     );
     let mut note_vals = Vec::new();
     for (label, enabled) in [("with check", true), ("without check", false)] {
-        let out =
-            MultilaterationSolver::new(MultilaterationConfig::paper().with_consistency(enabled))
-                .solve(&set, &anchors, &mut rng)
-                .expect("anchors supplied");
-        let (localized, mean_err, _) = non_anchor_error(&out.positions, truth, &scenario.anchors);
+        let problem = Problem::builder(set.clone())
+            .name("parking-lot-corrupted")
+            .anchors(anchors.clone())
+            .truth(truth.clone())
+            .build()
+            .expect("scenario data is consistent");
+        let (_, localized, mean_err, _) = solve_via_campaign(
+            problem,
+            MultilaterationConfig::paper().with_consistency(enabled),
+            seed ^ 0xAB,
+        );
         t.push(&[label.into(), localized.to_string(), m(mean_err)]);
         note_vals.push(mean_err);
     }

@@ -33,13 +33,20 @@
 //! statistical-filter comparison, chirp-length sweep, detection-threshold
 //! sweep, transform-method comparison, and LSS initialization comparison —
 //! see the `ablations` module.
+//!
+//! The [`campaign`] module is the batch-scale seam: a [`Campaign`] runs a
+//! (scenarios × localizers × seeds) grid through the unified
+//! [`Localizer`](rl_core::problem::Localizer) trait and summarizes every
+//! cell; the solver-comparison experiments above are built on it.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod report;
 
+pub use campaign::{Campaign, CampaignReport};
 pub use report::Table;
 
 /// The master seed all experiments derive their RNG streams from, so the

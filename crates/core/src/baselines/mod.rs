@@ -202,6 +202,90 @@ pub fn centroid_localization(
     Ok(positions)
 }
 
+/// DV-hop as a [`Localizer`](crate::problem::Localizer). Requires the
+/// problem to carry ground truth (radio connectivity) and at least three
+/// anchors; the solution is absolute.
+#[derive(Debug, Clone)]
+pub struct DvHopLocalizer {
+    radio: RadioModel,
+}
+
+impl DvHopLocalizer {
+    /// Creates the localizer with the radio model the hop-count floods run
+    /// on.
+    pub fn new(radio: RadioModel) -> Self {
+        DvHopLocalizer { radio }
+    }
+}
+
+impl crate::problem::Localizer for DvHopLocalizer {
+    fn name(&self) -> &str {
+        "dv-hop"
+    }
+
+    fn localize(
+        &self,
+        problem: &crate::problem::Problem,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<crate::problem::Solution> {
+        use crate::problem::{Frame, Solution, SolveStats};
+        let start = std::time::Instant::now();
+        let truth = problem.truth_required()?;
+        let out = dv_hop(truth, problem.anchors(), &self.radio, rng)?;
+        Ok(Solution::new(
+            out.positions,
+            Frame::Absolute,
+            SolveStats {
+                iterations: 0,
+                residual: None,
+                wall_time: start.elapsed(),
+            },
+        ))
+    }
+}
+
+/// Centroid localization as a [`Localizer`](crate::problem::Localizer).
+/// Requires ground truth (radio connectivity) and at least one anchor; the
+/// solution is absolute.
+#[derive(Debug, Clone, Copy)]
+pub struct CentroidLocalizer {
+    radio_range_m: f64,
+}
+
+impl CentroidLocalizer {
+    /// Creates the localizer with the radio range anchors are heard
+    /// within.
+    pub fn new(radio_range_m: f64) -> Self {
+        CentroidLocalizer { radio_range_m }
+    }
+}
+
+impl crate::problem::Localizer for CentroidLocalizer {
+    fn name(&self) -> &str {
+        "centroid"
+    }
+
+    fn localize(
+        &self,
+        problem: &crate::problem::Problem,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<crate::problem::Solution> {
+        use crate::problem::{Frame, Solution, SolveStats};
+        let start = std::time::Instant::now();
+        let truth = problem.truth_required()?;
+        let positions = centroid_localization(truth, problem.anchors(), self.radio_range_m)?;
+        Ok(Solution::new(
+            positions,
+            Frame::Absolute,
+            SolveStats {
+                iterations: 0,
+                residual: None,
+                wall_time: start.elapsed(),
+            },
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -359,6 +359,131 @@ impl DistributedConfig {
         self.local_lss = self.local_lss.with_min_spacing(min_spacing_m, weight);
         self
     }
+
+    /// Replaces the LSS configuration used for per-node local maps
+    /// (builder style).
+    pub fn with_local_lss(mut self, local_lss: LssConfig) -> Self {
+        self.local_lss = local_lss;
+        self
+    }
+
+    /// Replaces the pairwise transform estimation method (builder style).
+    pub fn with_transform(mut self, transform: TransformMethod) -> Self {
+        self.transform = transform;
+        self
+    }
+
+    /// Replaces the transform sanity guards (builder style);
+    /// [`TransformGuards::permissive`] reproduces the paper's unguarded
+    /// behavior.
+    pub fn with_guards(mut self, guards: TransformGuards) -> Self {
+        self.guards = guards;
+        self
+    }
+
+    /// Replaces the radio model used for the protocol run (builder
+    /// style).
+    pub fn with_radio(mut self, radio: RadioModel) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Replaces the delay before the root starts the alignment flood
+    /// (builder style).
+    pub fn with_alignment_delay(mut self, delay_s: f64) -> Self {
+        self.alignment_delay_s = delay_s;
+        self
+    }
+}
+
+/// The distributed-LSS solver: the config-struct entry point to
+/// [`run_distributed`], consistent with
+/// [`LssSolver`] and
+/// [`MultilaterationSolver`](crate::multilateration::MultilaterationSolver).
+///
+/// ```
+/// use rl_core::distributed::{DistributedConfig, DistributedSolver};
+/// use rl_geom::Point2;
+/// use rl_net::NodeId;
+/// use rl_ranging::measurement::MeasurementSet;
+///
+/// let truth: Vec<Point2> = (0..16)
+///     .map(|i| Point2::new((i % 4) as f64 * 9.0, (i / 4) as f64 * 9.0))
+///     .collect();
+/// let set = MeasurementSet::oracle(&truth, 22.0);
+/// let solver = DistributedSolver::new(DistributedConfig::default()).with_root(NodeId(5));
+/// let mut rng = rl_math::rng::seeded(3);
+/// let out = solver.solve(&set, &truth, &mut rng)?;
+/// assert_eq!(out.positions.localized_count(), 16);
+/// # Ok::<(), rl_core::LocalizationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistributedSolver {
+    config: DistributedConfig,
+    root: NodeId,
+}
+
+impl DistributedSolver {
+    /// Creates a solver with the alignment flood rooted at node 0.
+    pub fn new(config: DistributedConfig) -> Self {
+        DistributedSolver {
+            config,
+            root: NodeId(0),
+        }
+    }
+
+    /// Picks the node the alignment flood starts from (builder style).
+    /// The global frame is this node's local frame.
+    pub fn with_root(mut self, root: NodeId) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DistributedConfig {
+        &self.config
+    }
+
+    /// Runs the full three-step protocol; `truth_positions` provides radio
+    /// connectivity only.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_distributed`].
+    pub fn solve<R: Rng + ?Sized>(
+        &self,
+        set: &MeasurementSet,
+        truth_positions: &[Point2],
+        rng: &mut R,
+    ) -> Result<DistributedOutcome> {
+        run_distributed(set, truth_positions, self.root, &self.config, rng)
+    }
+}
+
+impl crate::problem::Localizer for DistributedSolver {
+    fn name(&self) -> &str {
+        "distributed-lss"
+    }
+
+    fn localize(
+        &self,
+        problem: &crate::problem::Problem,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<crate::problem::Solution> {
+        use crate::problem::{Frame, Solution, SolveStats};
+        let start = std::time::Instant::now();
+        let truth = problem.truth_required()?;
+        let out = self.solve(problem.measurements(), truth, rng)?;
+        Ok(Solution::new(
+            out.positions,
+            Frame::Relative,
+            SolveStats {
+                iterations: out.messages_delivered,
+                residual: None,
+                wall_time: start.elapsed(),
+            },
+        ))
+    }
 }
 
 /// Message exchanged by the distributed protocol.

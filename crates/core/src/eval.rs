@@ -41,6 +41,43 @@ impl Evaluation {
         }
     }
 
+    /// A view of the evaluation with the given nodes excluded from the
+    /// metric (and cleared in [`Evaluation::aligned`]). Used to keep
+    /// anchors — inputs, not estimates — out of an anchor-based
+    /// algorithm's error: the paper reports multilateration error over
+    /// non-anchor nodes only.
+    pub fn excluding(&self, exclude: &[NodeId]) -> Evaluation {
+        let ex: std::collections::BTreeSet<NodeId> = exclude.iter().copied().collect();
+        let per_node: Vec<(NodeId, f64)> = self
+            .per_node
+            .iter()
+            .filter(|(id, _)| !ex.contains(id))
+            .copied()
+            .collect();
+        let max_error = per_node.iter().map(|&(_, e)| e).fold(0.0f64, f64::max);
+        let mean_error = if per_node.is_empty() {
+            0.0
+        } else {
+            per_node.iter().map(|&(_, e)| e).sum::<f64>() / per_node.len() as f64
+        };
+        let mut aligned = self.aligned.clone();
+        for &id in &ex {
+            if id.index() < aligned.len() {
+                aligned.clear(id);
+            }
+        }
+        Evaluation {
+            localized: per_node.len(),
+            total: self
+                .total
+                .saturating_sub(ex.iter().filter(|id| id.index() < self.total).count()),
+            mean_error,
+            max_error,
+            per_node,
+            aligned,
+        }
+    }
+
     /// Average error after dropping the `k` largest per-node errors (the
     /// paper reports e.g. "without the largest 5 errors, the average
     /// improves to 1.5 m").
@@ -221,6 +258,27 @@ mod tests {
         assert!(trimmed < 1e-12, "trimmed {trimmed}");
         // Dropping everything yields zero.
         assert_eq!(eval.mean_error_without_worst(10), 0.0);
+    }
+
+    #[test]
+    fn excluding_drops_nodes_from_metric() {
+        let t = truth();
+        let mut positions = t.clone();
+        positions[0] = Point2::new(0.0, 5.0); // 5 m error on node 0
+        let eval = evaluate_absolute(&PositionMap::complete(positions), &t).unwrap();
+        assert!((eval.mean_error - 1.25).abs() < 1e-12);
+
+        let trimmed = eval.excluding(&[NodeId(0)]);
+        assert_eq!(trimmed.localized, 3);
+        assert_eq!(trimmed.total, 3);
+        assert!(trimmed.mean_error < 1e-12, "mean {}", trimmed.mean_error);
+        assert!(!trimmed.aligned.is_localized(NodeId(0)));
+        assert_eq!(trimmed.per_node.len(), 3);
+
+        // Excluding everything leaves a zeroed metric, not a panic.
+        let empty = eval.excluding(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(empty.localized, 0);
+        assert_eq!(empty.mean_error, 0.0);
     }
 
     #[test]

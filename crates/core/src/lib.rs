@@ -23,7 +23,12 @@
 //!   paper's Related Work, for head-to-head comparisons,
 //! * [`eval`] — evaluation: best-fit alignment (translate/rotate/flip)
 //!   against ground truth and the paper's average-localization-error
-//!   metric.
+//!   metric,
+//! * [`problem`] — the unified solving API: a [`Problem`] (measurements +
+//!   anchors + optional ground truth), a [`Solution`] (positions + solve
+//!   statistics), and the object-safe [`Localizer`] trait implemented by
+//!   every algorithm family above, so heterogeneous solver sets can be
+//!   swept over shared problems (`Vec<Box<dyn Localizer>>`).
 //!
 //! # Example: anchor-free LSS on a noisy grid
 //!
@@ -57,11 +62,13 @@ pub mod eval;
 pub mod lss;
 pub mod mds;
 pub mod multilateration;
+pub mod problem;
 pub mod types;
 
 pub use eval::{evaluate_against_truth, Evaluation};
 pub use lss::{LssConfig, LssSolution, LssSolver};
 pub use multilateration::{MultilaterationConfig, MultilaterationSolver};
+pub use problem::{Frame, Localizer, Problem, Solution, SolveStats};
 pub use types::{Anchor, PositionMap};
 
 /// Error type for localization algorithms.

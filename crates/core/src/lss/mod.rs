@@ -70,6 +70,13 @@ pub struct LssConfig {
     /// Weight of the quadratic anchor springs used by
     /// [`LssSolver::solve_anchored`]. Ignored by plain [`LssSolver::solve`].
     pub anchor_weight: f64,
+    /// Whether the unified [`Localizer`](crate::problem::Localizer) entry
+    /// point may use a problem's anchors (anchored solve, absolute
+    /// output). Disable to force the paper's anchor-free operation even
+    /// when anchors are available — head-to-head comparisons use this to
+    /// keep LSS on equal (anchor-less) footing. Ignored by the inherent
+    /// [`LssSolver::solve`]/[`LssSolver::solve_anchored`] methods.
+    pub use_anchors: bool,
 }
 
 impl Default for LssConfig {
@@ -93,6 +100,7 @@ impl Default for LssConfig {
             robust: None,
             init: InitStrategy::Random,
             anchor_weight: 100.0,
+            use_anchors: true,
         }
     }
 }
@@ -153,6 +161,15 @@ impl LssConfig {
     /// Enables robust outlier reweighting (builder style).
     pub fn with_robust_reweight(mut self, robust: RobustReweight) -> Self {
         self.robust = Some(robust);
+        self
+    }
+
+    /// Forces anchor-free operation through the unified
+    /// [`Localizer`](crate::problem::Localizer) entry point (builder
+    /// style): anchors in the problem are ignored and the solution stays
+    /// in a relative frame, as in the paper's evaluation.
+    pub fn anchor_free(mut self) -> Self {
+        self.use_anchors = false;
         self
     }
 }
@@ -433,6 +450,52 @@ impl LssSolver {
                 Ok(flatten(coords))
             }
         }
+    }
+}
+
+impl crate::problem::Localizer for LssSolver {
+    fn name(&self) -> &str {
+        match (
+            self.config.soft_constraint.is_some(),
+            self.config.use_anchors,
+        ) {
+            (true, true) => "lss+constraint",
+            (false, true) => "lss",
+            (true, false) => "lss-anchor-free+constraint",
+            (false, false) => "lss-anchor-free",
+        }
+    }
+
+    /// Unified entry point collapsing the [`LssSolver::solve`] /
+    /// [`LssSolver::solve_anchored`] split: with two or more anchors (and
+    /// [`LssConfig::use_anchors`] left enabled) the solve is anchored and
+    /// the solution is [`Frame::Absolute`]; otherwise it is anchor-free
+    /// and [`Frame::Relative`].
+    ///
+    /// [`Frame::Absolute`]: crate::problem::Frame::Absolute
+    /// [`Frame::Relative`]: crate::problem::Frame::Relative
+    fn localize(
+        &self,
+        problem: &crate::problem::Problem,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<crate::problem::Solution> {
+        use crate::problem::{Frame, Solution, SolveStats};
+        let start = std::time::Instant::now();
+        let (solution, frame) = if self.config.use_anchors && problem.anchors().len() >= 2 {
+            let sol = self.solve_anchored(problem.measurements(), problem.anchors(), rng)?;
+            (sol, Frame::Absolute)
+        } else {
+            (self.solve(problem.measurements(), rng)?, Frame::Relative)
+        };
+        Ok(Solution::new(
+            solution.positions(),
+            frame,
+            SolveStats {
+                iterations: solution.iterations(),
+                residual: Some(solution.stress()),
+                wall_time: start.elapsed(),
+            },
+        ))
     }
 }
 

@@ -115,6 +115,44 @@ pub fn mdsmap_coordinates(set: &MeasurementSet) -> Result<Vec<Point2>> {
     classical_mds(&d)
 }
 
+/// MDS-MAP as a [`Localizer`](crate::problem::Localizer): shortest-path
+/// completion plus classical MDS, producing a relative-frame solution in
+/// closed form (no iteration, no randomness).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MdsMapLocalizer;
+
+impl MdsMapLocalizer {
+    /// Creates the localizer.
+    pub fn new() -> Self {
+        MdsMapLocalizer
+    }
+}
+
+impl crate::problem::Localizer for MdsMapLocalizer {
+    fn name(&self) -> &str {
+        "mds-map"
+    }
+
+    fn localize(
+        &self,
+        problem: &crate::problem::Problem,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Result<crate::problem::Solution> {
+        use crate::problem::{Frame, Solution, SolveStats};
+        let start = std::time::Instant::now();
+        let coords = mdsmap_coordinates(problem.measurements())?;
+        Ok(Solution::new(
+            crate::types::PositionMap::complete(coords),
+            Frame::Relative,
+            SolveStats {
+                iterations: 0,
+                residual: None,
+                wall_time: start.elapsed(),
+            },
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -131,6 +131,33 @@ pub struct MultilaterationOutcome {
     pub rounds: usize,
 }
 
+/// Mean number of anchor ranges available per non-anchor node before any
+/// filtering — the statistic behind the paper's "1.47 anchors per node"
+/// for the sparse grid. Computed over the original anchor set; reported
+/// by [`MultilaterationOutcome::mean_anchors_available`] and reusable by
+/// comparison harnesses.
+pub fn mean_anchors_available(measurements: &MeasurementSet, anchors: &[Anchor]) -> f64 {
+    let anchor_set: std::collections::BTreeSet<NodeId> = anchors.iter().map(|a| a.id).collect();
+    let mut total_available = 0usize;
+    let mut non_anchor_count = 0usize;
+    for i in 0..measurements.node_count() {
+        if anchor_set.contains(&NodeId(i)) {
+            continue;
+        }
+        non_anchor_count += 1;
+        total_available += measurements
+            .neighbors_of(NodeId(i))
+            .iter()
+            .filter(|(j, _)| anchor_set.contains(j))
+            .count();
+    }
+    if non_anchor_count == 0 {
+        0.0
+    } else {
+        total_available as f64 / non_anchor_count as f64
+    }
+}
+
 /// The multilateration solver.
 #[derive(Debug, Clone)]
 pub struct MultilaterationSolver {
@@ -220,24 +247,7 @@ impl MultilaterationSolver {
         }
 
         // Availability statistic over the original anchor set only.
-        let mut total_available = 0usize;
-        let mut non_anchor_count = 0usize;
-        for i in 0..n {
-            if anchor_table[i].is_some() {
-                continue;
-            }
-            non_anchor_count += 1;
-            total_available += measurements
-                .neighbors_of(NodeId(i))
-                .iter()
-                .filter(|(j, _)| anchor_table[j.index()].is_some())
-                .count();
-        }
-        let mean_anchors_available = if non_anchor_count == 0 {
-            0.0
-        } else {
-            total_available as f64 / non_anchor_count as f64
-        };
+        let mean_anchors_available = mean_anchors_available(measurements, anchors);
 
         let mut anchors_dropped = 0usize;
         let mut rounds = 0usize;
@@ -299,6 +309,28 @@ impl MultilaterationSolver {
         })
     }
 
+    /// Unified-trait entry point; see [`MultilaterationSolver::solve`] for
+    /// the richer inherent API (availability statistics, dropped-anchor
+    /// counts).
+    fn localize_impl(
+        &self,
+        problem: &crate::problem::Problem,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<crate::problem::Solution> {
+        use crate::problem::{Frame, Solution, SolveStats};
+        let start = std::time::Instant::now();
+        let out = self.solve(problem.measurements(), problem.anchors(), rng)?;
+        Ok(Solution::new(
+            out.positions,
+            Frame::Absolute,
+            SolveStats {
+                iterations: out.rounds,
+                residual: None,
+                wall_time: start.elapsed(),
+            },
+        ))
+    }
+
     fn estimate<R: Rng + ?Sized>(
         &self,
         observations: &[RangeToAnchor],
@@ -354,6 +386,24 @@ impl MultilaterationSolver {
                 check.mode_of_intersections(observations)
             }
         }
+    }
+}
+
+impl crate::problem::Localizer for MultilaterationSolver {
+    fn name(&self) -> &str {
+        if self.config.progressive {
+            "multilateration-progressive"
+        } else {
+            "multilateration"
+        }
+    }
+
+    fn localize(
+        &self,
+        problem: &crate::problem::Problem,
+        rng: &mut dyn rand::RngCore,
+    ) -> Result<crate::problem::Solution> {
+        self.localize_impl(problem, rng)
     }
 }
 

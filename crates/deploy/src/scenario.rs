@@ -1,10 +1,15 @@
 //! Named experiment scenarios.
 //!
-//! Each scenario bundles a deployment, an anchor set and the seeds that
-//! make the paper's experiments reproducible bit-for-bit. The `rl-bench`
-//! harness builds every figure from one of these.
+//! Each scenario bundles a deployment, an anchor set, a synthetic ranging
+//! error model and the seeds that make the paper's experiments
+//! reproducible bit-for-bit. The `rl-bench` harness builds every figure
+//! from one of these, and [`Scenario::instantiate`] turns one directly
+//! into a solver-ready [`Problem`] for the
+//! unified [`Localizer`](rl_core::problem::Localizer) API.
 
 use rand::Rng;
+use rl_core::problem::Problem;
+use rl_core::types::Anchor;
 use rl_geom::Point2;
 use rl_net::NodeId;
 use serde::{Deserialize, Serialize};
@@ -12,10 +17,13 @@ use serde::{Deserialize, Serialize};
 use crate::anchors::AnchorSelection;
 use crate::grid::OffsetGrid;
 use crate::random::RandomDeployment;
+use crate::synth::SyntheticRanging;
 use crate::town::TownMap;
 use crate::Deployment;
 
-/// A reproducible experiment geometry: deployment plus anchors.
+/// A reproducible experiment geometry: deployment, anchors, and the
+/// synthetic error model used when the scenario is instantiated into a
+/// [`Problem`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Scenario name, e.g. `"grass-grid-47"`.
@@ -24,6 +32,10 @@ pub struct Scenario {
     pub deployment: Deployment,
     /// Anchor node ids (sorted).
     pub anchors: Vec<NodeId>,
+    /// The synthetic measurement recipe applied by
+    /// [`Scenario::instantiate`] (the paper's 22 m / N(0, 0.33 m) recipe
+    /// by default).
+    pub ranging: SyntheticRanging,
 }
 
 impl Scenario {
@@ -34,6 +46,7 @@ impl Scenario {
             name: "grass-grid-47".into(),
             deployment,
             anchors: Vec::new(),
+            ranging: SyntheticRanging::paper(),
         }
     }
 
@@ -48,6 +61,7 @@ impl Scenario {
             name: "grass-grid-46-13anchors".into(),
             deployment,
             anchors,
+            ranging: SyntheticRanging::paper(),
         }
     }
 
@@ -65,6 +79,7 @@ impl Scenario {
             name: "parking-lot-15-5anchors".into(),
             deployment,
             anchors,
+            ranging: SyntheticRanging::paper(),
         }
     }
 
@@ -78,6 +93,7 @@ impl Scenario {
             name: "town-59-18anchors".into(),
             deployment,
             anchors,
+            ranging: SyntheticRanging::paper(),
         }
     }
 
@@ -94,6 +110,7 @@ impl Scenario {
             name: "urban-60".into(),
             deployment: Deployment::new("urban-60", deployment.positions),
             anchors: Vec::new(),
+            ranging: SyntheticRanging::paper(),
         }
     }
 
@@ -110,6 +127,39 @@ impl Scenario {
         crate::anchors::split_nodes(self.deployment.len(), &self.anchors).1
     }
 
+    /// Replaces the synthetic error model (builder style).
+    pub fn with_ranging(mut self, ranging: SyntheticRanging) -> Self {
+        self.ranging = ranging;
+        self
+    }
+
+    /// Anchor descriptors (id + ground-truth position), ready for the
+    /// anchor-based solvers.
+    pub fn anchor_list(&self) -> Vec<Anchor> {
+        Anchor::from_truth(&self.anchors, &self.deployment.positions)
+    }
+
+    /// Instantiates the scenario into a solver-ready
+    /// [`Problem`]: the error model measures
+    /// every in-range pair (seeded by `seed`), anchors are resolved to
+    /// their ground-truth positions, and the deployment's positions ride
+    /// along as ground truth for evaluation and radio connectivity.
+    ///
+    /// The same `(scenario, seed)` pair always produces a bit-identical
+    /// problem.
+    pub fn instantiate(&self, seed: u64) -> Problem {
+        let mut rng = rl_math::rng::seeded(seed);
+        let measurements = self
+            .ranging
+            .measure_all(&self.deployment.positions, &mut rng);
+        Problem::builder(measurements)
+            .name(self.name.clone())
+            .anchors(self.anchor_list())
+            .truth(self.deployment.positions.clone())
+            .build()
+            .expect("scenario anchors and truth are consistent by construction")
+    }
+
     /// Draws a fresh random anchor set of the same size (for repeated
     /// trials).
     pub fn reanchored<R: Rng + ?Sized>(&self, rng: &mut R) -> Scenario {
@@ -121,6 +171,7 @@ impl Scenario {
             name: self.name.clone(),
             deployment: self.deployment.clone(),
             anchors,
+            ranging: self.ranging,
         }
     }
 }
@@ -190,5 +241,38 @@ mod tests {
         let s = Scenario::parking_lot(1);
         let json = serde_json::to_string(&s).unwrap();
         assert_eq!(serde_json::from_str::<Scenario>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn instantiate_builds_consistent_problem() {
+        let s = Scenario::town(7);
+        let p = s.instantiate(13);
+        assert_eq!(p.name(), s.name);
+        assert_eq!(p.node_count(), 59);
+        assert_eq!(p.anchors().len(), 18);
+        assert_eq!(p.truth().unwrap(), &s.deployment.positions[..]);
+        assert_eq!(
+            p.measurements().len(),
+            s.deployment.pairs_within(s.ranging.max_range_m)
+        );
+        // Anchors sit at their ground-truth positions.
+        for a in p.anchors() {
+            assert_eq!(a.position, s.deployment.positions[a.id.index()]);
+        }
+        // Same seed, bit-identical problem; different seed, different
+        // measurements.
+        assert_eq!(s.instantiate(13), p);
+        assert_ne!(s.instantiate(14).measurements(), p.measurements());
+    }
+
+    #[test]
+    fn with_ranging_changes_the_error_model() {
+        let s = Scenario::grass_grid().with_ranging(SyntheticRanging::new(10.0, 0.1));
+        let p = s.instantiate(1);
+        assert_eq!(
+            p.measurements().len(),
+            s.deployment.pairs_within(10.0),
+            "short-range model must shrink the pair set"
+        );
     }
 }

@@ -10,9 +10,8 @@
 //! ```
 
 use resilient_localization::prelude::*;
-use rl_core::distributed::{run_distributed, DistributedConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     let mut rng = rl_math::rng::seeded(2005);
     let scenario = rl_deploy::Scenario::town(2005);
     let truth = &scenario.deployment.positions;
@@ -63,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Distributed LSS ------------------------------------------------
     let config = DistributedConfig::default().with_min_spacing(9.0, 10.0);
-    let out = run_distributed(&set, truth, NodeId(0), &config, &mut rng)?;
+    let out = DistributedSolver::new(config).solve(&set, truth, &mut rng)?;
     let eval = evaluate_against_truth(&out.positions, truth)?;
     println!(
         "distributed LSS:  {}/{} localized, avg error {:.3} m \

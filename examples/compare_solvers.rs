@@ -1,0 +1,44 @@
+//! Head-to-head solver comparison through one `Campaign` invocation.
+//!
+//! Runs every algorithm family — centralized LSS, multilateration (plain
+//! and progressive), distributed LSS, MDS-MAP, DV-hop and centroid —
+//! through the unified `Localizer` trait on the paper's Figure-5 grass
+//! grid (46 motes, 13 anchors where applicable, synthetic 22 m /
+//! N(0, 0.33 m) ranging). The same canonical campaign backs the
+//! `BASELINES` experiment of the `figures` binary.
+//!
+//! ```text
+//! cargo run --release --example compare_solvers
+//! ```
+
+use resilient_localization::bench::campaign::figure5_head_to_head;
+use resilient_localization::prelude::*;
+
+fn main() -> Result<()> {
+    let campaign = figure5_head_to_head(2005);
+    let report = campaign.run();
+
+    println!("{}", report.summary_table());
+
+    for (scenario, localizer) in report.cells() {
+        for record in report.runs_for(&scenario, &localizer) {
+            match &record.outcome {
+                Ok(outcome) => {
+                    let frame = match outcome.solution.frame() {
+                        Frame::Absolute => "absolute",
+                        Frame::Relative => "relative (aligned for evaluation)",
+                    };
+                    match &outcome.evaluation {
+                        Some(eval) => println!(
+                            "{localizer:28} {}/{} non-anchors localized, {:.3} m mean error, {frame}",
+                            eval.localized, eval.total, eval.mean_error
+                        ),
+                        None => println!("{localizer:28} produced no evaluable positions"),
+                    }
+                }
+                Err(e) => println!("{localizer:28} failed: {e}"),
+            }
+        }
+    }
+    Ok(())
+}

@@ -16,7 +16,10 @@ use rl_ranging::consistency::{merge_bidirectional, ConsistencyConfig};
 use rl_ranging::filter::StatFilter;
 use rl_ranging::service::{RangingService, ServiceConfig};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+// Mixed error types (ranging service + localization), so this example
+// keeps the boxed error; the crate's own one-parameter `Result` from the
+// prelude is named around it.
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
     let mut rng = rl_math::rng::seeded(7);
 
     // The 46 reporting motes of the paper's field experiment (one of the

@@ -11,7 +11,7 @@
 
 use resilient_localization::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<()> {
     let mut rng = rl_math::rng::seeded(42);
 
     // 1. The deployment: the paper's 7x7 offset grid (47 motes).

@@ -18,8 +18,9 @@
 //! | [`signal`] | `rl-signal` | acoustic channel, tone detection, chirp patterns |
 //! | [`net`] | `rl-net` | discrete-event WSN simulator, time sync, flooding |
 //! | [`ranging`] | `rl-ranging` | TDoA ranging service, filtering, consistency |
-//! | [`deploy`] | `rl-deploy` | deployments, anchors, synthetic measurements |
-//! | [`localization`] | `rl-core` | multilateration, LSS, distributed LSS, MDS |
+//! | [`deploy`] | `rl-deploy` | deployments, anchors, synthetic measurements, scenarios |
+//! | [`localization`] | `rl-core` | multilateration, LSS, distributed LSS, MDS, `Problem`/`Localizer` |
+//! | [`bench`](mod@bench) | `rl-bench` | campaign runner, experiment harness, figure reproductions |
 //!
 //! # Quickstart
 //!
@@ -42,9 +43,36 @@
 //! assert!(eval.mean_error < 1.0, "average error {} m", eval.mean_error);
 //! # Ok::<(), rl_core::LocalizationError>(())
 //! ```
+//!
+//! # The unified solving API
+//!
+//! Every algorithm family also implements the object-safe
+//! [`Localizer`](rl_core::problem::Localizer) trait over a shared
+//! [`Problem`](rl_core::problem::Problem), and a
+//! [`Campaign`](rl_bench::campaign::Campaign) sweeps
+//! (scenarios × localizers × seeds) grids through it:
+//!
+//! ```
+//! use resilient_localization::prelude::*;
+//!
+//! // A named scenario instantiates directly into a solver-ready Problem.
+//! let problem = rl_deploy::Scenario::parking_lot(7).instantiate(1);
+//! let solvers: Vec<Box<dyn Localizer>> = vec![
+//!     Box::new(LssSolver::new(LssConfig::default())),
+//!     Box::new(MultilaterationSolver::new(MultilaterationConfig::paper())),
+//! ];
+//! let mut rng = rl_math::rng::seeded(1);
+//! for solver in &solvers {
+//!     let solution = solver.localize(&problem, &mut rng)?;
+//!     let eval = problem.evaluate(&solution)?;
+//!     println!("{}: {:.3} m", solver.name(), eval.mean_error);
+//! }
+//! # Ok::<(), LocalizationError>(())
+//! ```
 
 #![deny(missing_docs)]
 
+pub use rl_bench as bench;
 pub use rl_core as localization;
 pub use rl_deploy as deploy;
 pub use rl_geom as geom;
@@ -54,11 +82,22 @@ pub use rl_ranging as ranging;
 pub use rl_signal as signal;
 
 /// Commonly used items, importable with one `use`.
+///
+/// Note that this re-exports [`rl_core::Result`], a one-parameter alias
+/// over [`LocalizationError`](rl_core::LocalizationError); code that needs
+/// the two-parameter form alongside the glob import should name
+/// `std::result::Result` explicitly.
 pub mod prelude {
-    pub use rl_core::eval::{evaluate_absolute, evaluate_against_truth};
+    pub use rl_bench::campaign::{Campaign, CampaignReport};
+    pub use rl_core::baselines::{CentroidLocalizer, DvHopLocalizer};
+    pub use rl_core::distributed::{DistributedConfig, DistributedSolver};
+    pub use rl_core::eval::{evaluate_absolute, evaluate_against_truth, Evaluation};
     pub use rl_core::lss::{LssConfig, LssSolver};
+    pub use rl_core::mds::MdsMapLocalizer;
     pub use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
+    pub use rl_core::problem::{Frame, Localizer, Problem, Solution, SolveStats};
     pub use rl_core::types::{Anchor, NodeId, PositionMap};
+    pub use rl_core::{LocalizationError, Result};
     pub use rl_geom::{Point2, Vec2};
     pub use rl_ranging::measurement::{DirectedSample, MeasurementSet, RangingCampaign};
     pub use rl_signal::env::Environment;

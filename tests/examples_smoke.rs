@@ -55,3 +55,8 @@ fn grassy_field_runs_and_prints_finite_output() {
 fn city_blocks_runs_and_prints_finite_output() {
     run_example("city_blocks");
 }
+
+#[test]
+fn compare_solvers_runs_and_prints_finite_output() {
+    run_example("compare_solvers");
+}
