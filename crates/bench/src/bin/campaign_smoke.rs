@@ -1,0 +1,71 @@
+//! Release-mode smoke test for the parallel campaign path; run by CI.
+//!
+//! ```text
+//! cargo run --release -p rl-bench --bin campaign_smoke
+//! ```
+//!
+//! Executes a multi-cell (scenarios × localizers × seeds) grid four ways —
+//! serial, auto-sized pool, 4 workers with instance chunking, 4 workers
+//! with cell chunking — asserts all four reports are **bit-identical**
+//! (the determinism contract documented in `rl_bench::campaign`), and
+//! prints each schedule's end-to-end wall time. Exits non-zero on any
+//! mismatch, so the release-mode parallel path is exercised and verified
+//! on every CI run.
+
+use rl_bench::campaign::{Campaign, CampaignConfig, Chunking};
+use rl_bench::MASTER_SEED;
+use rl_core::baselines::{CentroidLocalizer, DvHopLocalizer};
+use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
+use rl_deploy::Scenario;
+use rl_net::RadioModel;
+
+fn main() {
+    let campaign = Campaign::new()
+        .scenario(Scenario::town(MASTER_SEED))
+        .scenario(Scenario::metro_sized(250, 0.10, MASTER_SEED))
+        .localizer(Box::new(MultilaterationSolver::new(
+            MultilaterationConfig::paper().progressive(),
+        )))
+        .localizer(Box::new(DvHopLocalizer::new(RadioModel::ideal(22.0))))
+        .localizer(Box::new(CentroidLocalizer::new(22.0)))
+        .trials(MASTER_SEED, 2);
+
+    let schedules: [(&str, CampaignConfig); 4] = [
+        ("serial", CampaignConfig::serial()),
+        ("auto", CampaignConfig::default()),
+        ("workers4", CampaignConfig::default().with_workers(4)),
+        (
+            "workers4-cell",
+            CampaignConfig::default()
+                .with_workers(4)
+                .with_chunking(Chunking::Cell),
+        ),
+    ];
+
+    let mut reference: Option<(u64, usize)> = None;
+    for (label, config) in schedules {
+        let report = campaign.run_with(config);
+        let fp = report.fingerprint();
+        println!(
+            "{label:14} workers={} cells={} wall={:.1} ms fingerprint={fp:#018x}",
+            report.workers,
+            report.runs.len(),
+            report.total_wall.as_secs_f64() * 1e3,
+        );
+        match reference {
+            None => reference = Some((fp, report.runs.len())),
+            Some((ref_fp, ref_cells)) => {
+                if fp != ref_fp || report.runs.len() != ref_cells {
+                    eprintln!(
+                        "DETERMINISM VIOLATION: schedule `{label}` produced \
+                         fingerprint {fp:#018x} ({} cells), expected \
+                         {ref_fp:#018x} ({ref_cells} cells)",
+                        report.runs.len()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!("all schedules bit-identical; parallel campaign path OK");
+}

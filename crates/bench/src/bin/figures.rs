@@ -121,6 +121,11 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
         experiments::baselines::baseline_comparison,
     ),
     (
+        "METRO",
+        "metro-scale sweep, parallel campaign",
+        experiments::metro::metro_sweep,
+    ),
+    (
         "ABL-FILTER",
         "median vs mode vs none",
         experiments::ranging::filter_ablation,

@@ -1,30 +1,57 @@
 //! Scenario-driven campaign execution: a (scenarios × localizers × seeds)
-//! grid run through the unified [`Localizer`] trait.
+//! grid run through the unified [`Localizer`] trait, sharded across a
+//! worker-thread pool.
 //!
 //! The paper's experimental object is never a single solve — it is the
 //! *comparison matrix*: every algorithm family on the same deployments,
 //! summarized as a head-to-head table. A [`Campaign`] encodes that matrix
 //! once: problem sources on one axis (named [`Scenario`]s instantiated per
 //! seed, or fixed pre-measured [`Problem`]s), boxed localizers on the
-//! second, seeds on the third. [`Campaign::run`] executes every cell
-//! deterministically and returns a [`CampaignReport`] with per-run records
-//! and per-cell [`Evaluation`] summaries.
+//! second, seeds on the third. [`Campaign::run`] executes every cell and
+//! returns a [`CampaignReport`] with per-run records (including per-cell
+//! wall time) and per-cell [`Evaluation`] summaries.
+//!
+//! # Parallel execution and the determinism contract
+//!
+//! Grid cells are independent by construction — each `(source, seed,
+//! localizer)` cell instantiates its problem from `(source, seed)` alone
+//! and derives a private RNG stream from `(seed, localizer index)` — so
+//! [`Campaign::run`] shards them across `std::thread` workers
+//! ([`CampaignConfig`] sets the pool size and the work-unit
+//! [`Chunking`]). The contract, asserted by `tests/determinism.rs` at the
+//! repository root and by the `campaign_smoke` release binary:
+//!
+//! **Same campaign, same seeds ⇒ a bit-identical [`CampaignReport`],
+//! regardless of worker count or chunking.** Records land in canonical
+//! grid order (source-major, then seed, then localizer) no matter which
+//! worker ran them or when it finished, and no cell's randomness depends
+//! on scheduling. Only the wall-clock fields ([`RunRecord::wall_time`],
+//! [`CampaignReport::total_wall`]) and [`CampaignReport::workers`] vary
+//! between runs; [`CampaignReport::fingerprint`] hashes everything *but*
+//! those, so two runs agree iff their fingerprints do.
 //!
 //! ```
-//! use rl_bench::campaign::Campaign;
+//! use rl_bench::campaign::{Campaign, CampaignConfig};
 //! use rl_core::lss::{LssConfig, LssSolver};
 //! use rl_core::mds::MdsMapLocalizer;
 //! use rl_deploy::Scenario;
 //!
-//! let report = Campaign::new()
+//! let campaign = Campaign::new()
 //!     .scenario(Scenario::parking_lot(7))
 //!     .localizer(Box::new(LssSolver::new(LssConfig::default())))
 //!     .localizer(Box::new(MdsMapLocalizer::new()))
-//!     .trials(1, 2)
-//!     .run();
+//!     .trials(1, 2);
+//! let report = campaign.run(); // worker pool sized to the machine
 //! assert_eq!(report.runs.len(), 4);
+//!
+//! // Any explicit worker count reproduces the same report bit-for-bit.
+//! let serial = campaign.run_with(CampaignConfig::serial());
+//! assert_eq!(serial.fingerprint(), report.fingerprint());
 //! println!("{}", report.summary_table());
 //! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use rl_core::eval::Evaluation;
 use rl_core::problem::{Localizer, Problem, Solution};
@@ -61,17 +88,88 @@ impl ProblemSource {
     }
 }
 
+/// How [`Campaign::run_with`] groups grid cells into work units for the
+/// worker pool.
+///
+/// Either choice yields the identical [`CampaignReport`] (the problem a
+/// cell sees is a pure function of `(source, seed)`); they trade
+/// instantiation cost against scheduling granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Chunking {
+    /// One `(source, seed)` instance per unit: the problem is instantiated
+    /// once and every localizer in the campaign runs on it. Cheapest in
+    /// total work (mirrors the serial execution exactly) and the right
+    /// default when the grid has at least as many instances as workers.
+    #[default]
+    Instance,
+    /// One `(source, seed, localizer)` cell per unit: each cell
+    /// re-instantiates its problem, buying maximum scheduling granularity.
+    /// Worth it when a few slow localizers dominate an otherwise small
+    /// grid (e.g. one scenario, eight algorithms).
+    Cell,
+}
+
+/// Execution knobs for [`Campaign::run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignConfig {
+    /// Worker threads. `0` (the default) resolves to the machine's
+    /// available parallelism; the pool is never larger than the number of
+    /// work units.
+    pub workers: usize,
+    /// How cells are grouped into work units.
+    pub chunking: Chunking,
+}
+
+impl CampaignConfig {
+    /// Single-threaded execution (one worker, instance chunking) — the
+    /// reference schedule every parallel run must reproduce bit-for-bit.
+    pub fn serial() -> Self {
+        CampaignConfig {
+            workers: 1,
+            chunking: Chunking::Instance,
+        }
+    }
+
+    /// Sets the worker count (builder style). `0` means "ask the OS".
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the chunking granularity (builder style).
+    pub fn with_chunking(mut self, chunking: Chunking) -> Self {
+        self.chunking = chunking;
+        self
+    }
+
+    /// The effective pool size for `units` work units.
+    fn resolve_workers(&self, units: usize) -> usize {
+        let requested = if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        requested.clamp(1, units.max(1))
+    }
+}
+
 /// A (scenarios × localizers × seeds) execution grid.
 ///
 /// Built with the chained methods below; [`Campaign::run`] executes the
-/// full grid. Runs are deterministic: each `(source, seed, localizer)`
-/// cell derives its own RNG stream, so re-running a campaign reproduces
-/// it bit-for-bit (wall-clock timings aside).
+/// full grid across a worker pool ([`Campaign::config`] tunes it,
+/// [`Campaign::run_with`] overrides it per call). Runs are deterministic:
+/// each `(source, seed, localizer)` cell derives its own RNG stream, so
+/// re-running a campaign — serially or on any number of threads —
+/// reproduces it bit-for-bit (wall-clock timings aside; see the module
+/// docs for the exact contract).
 #[derive(Default)]
 pub struct Campaign {
     sources: Vec<ProblemSource>,
     localizers: Vec<Box<dyn Localizer>>,
     seeds: Vec<u64>,
+    config: CampaignConfig,
 }
 
 impl Campaign {
@@ -118,43 +216,139 @@ impl Campaign {
         self
     }
 
-    /// Executes the grid: every source × seed × localizer cell, in that
-    /// nesting order. With no seeds configured, a single seed `0` is
-    /// used.
+    /// Sets the execution configuration [`Campaign::run`] uses.
+    pub fn config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Executes the grid with the campaign's configured
+    /// [`CampaignConfig`] (machine-sized worker pool by default).
     pub fn run(&self) -> CampaignReport {
+        self.run_with(self.config)
+    }
+
+    /// Executes the grid with an explicit execution configuration.
+    ///
+    /// Every `(source, seed, localizer)` cell runs exactly once; records
+    /// land in canonical grid order (source-major, then seed, then
+    /// localizer) regardless of which worker ran them. With no seeds
+    /// configured, a single seed `0` is used.
+    pub fn run_with(&self, config: CampaignConfig) -> CampaignReport {
         let seeds: &[u64] = if self.seeds.is_empty() {
             &[0]
         } else {
             &self.seeds
         };
-        let mut runs = Vec::with_capacity(self.sources.len() * seeds.len() * self.localizers.len());
-        for source in &self.sources {
-            for &seed in seeds {
+        let n_loc = self.localizers.len();
+        let instances = self.sources.len() * seeds.len();
+        let units = match config.chunking {
+            Chunking::Instance => instances,
+            Chunking::Cell => instances * n_loc,
+        };
+        let workers = config.resolve_workers(units);
+        let started = Instant::now();
+
+        let mut indexed: Vec<(usize, RunRecord)> = if workers <= 1 {
+            let mut out = Vec::with_capacity(instances * n_loc);
+            for unit in 0..units {
+                self.execute_unit(unit, config.chunking, seeds, &mut out);
+            }
+            out
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let unit = next.fetch_add(1, Ordering::Relaxed);
+                                if unit >= units {
+                                    break;
+                                }
+                                self.execute_unit(unit, config.chunking, seeds, &mut local);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Scheduling decided only who computed what; canonical grid order
+        // is restored here so the report is schedule-independent.
+        indexed.sort_by_key(|(cell, _)| *cell);
+        CampaignReport {
+            runs: indexed.into_iter().map(|(_, r)| r).collect(),
+            workers,
+            total_wall: started.elapsed(),
+        }
+    }
+
+    /// Executes one work unit, pushing `(canonical cell index, record)`
+    /// pairs. A unit is one problem instance (all localizers) under
+    /// [`Chunking::Instance`], or a single cell under [`Chunking::Cell`].
+    fn execute_unit(
+        &self,
+        unit: usize,
+        chunking: Chunking,
+        seeds: &[u64],
+        out: &mut Vec<(usize, RunRecord)>,
+    ) {
+        let n_loc = self.localizers.len();
+        match chunking {
+            Chunking::Instance => {
+                let source = &self.sources[unit / seeds.len()];
+                let seed = seeds[unit % seeds.len()];
                 let problem = source.instantiate(seed);
-                for (li, localizer) in self.localizers.iter().enumerate() {
-                    // Every cell gets its own deterministic stream so
-                    // adding or reordering localizers cannot perturb the
-                    // others' draws.
-                    let mut rng = rl_math::rng::seeded(
-                        seed ^ (li as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03),
-                    );
-                    let outcome = localizer.localize(&problem, &mut rng).map(|solution| {
-                        let evaluation = problem.evaluate(&solution).ok();
-                        RunOutcome {
-                            solution,
-                            evaluation,
-                        }
-                    });
-                    runs.push(RunRecord {
-                        scenario: source.name().to_string(),
-                        localizer: localizer.name().to_string(),
-                        seed,
-                        outcome,
-                    });
+                for li in 0..n_loc {
+                    let record = self.run_cell(&problem, source.name(), seed, li);
+                    out.push((unit * n_loc + li, record));
                 }
             }
+            Chunking::Cell => {
+                let (instance, li) = (unit / n_loc, unit % n_loc);
+                let source = &self.sources[instance / seeds.len()];
+                let seed = seeds[instance % seeds.len()];
+                let problem = source.instantiate(seed);
+                out.push((unit, self.run_cell(&problem, source.name(), seed, li)));
+            }
         }
-        CampaignReport { runs }
+    }
+
+    /// Runs one localizer on one instantiated problem, timing the cell.
+    fn run_cell(&self, problem: &Problem, scenario: &str, seed: u64, li: usize) -> RunRecord {
+        let localizer = &self.localizers[li];
+        // Every cell owns a whole stream derived from (trial seed,
+        // localizer index), so concurrent cells never share a generator
+        // and scheduling cannot perturb any cell's draws. The stream is
+        // tied to the localizer's *position* in the list: editing the
+        // list shifts later cells onto different streams, so per-cell
+        // results are comparable across runs of the same campaign, not
+        // across campaigns with different localizer lists.
+        let mut rng =
+            rl_math::rng::seeded(seed ^ (li as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let cell_started = Instant::now();
+        let outcome = localizer.localize(problem, &mut rng).map(|solution| {
+            let evaluation = problem.evaluate(&solution).ok();
+            RunOutcome {
+                solution,
+                evaluation,
+            }
+        });
+        RunRecord {
+            scenario: scenario.to_string(),
+            localizer: localizer.name().to_string(),
+            seed,
+            wall_time: cell_started.elapsed(),
+            outcome,
+        }
     }
 }
 
@@ -167,6 +361,11 @@ pub struct RunRecord {
     pub localizer: String,
     /// The seed the run derived its problem and RNG stream from.
     pub seed: u64,
+    /// Wall-clock time of the whole cell (solve plus evaluation), as
+    /// measured on the worker that ran it. Unlike
+    /// [`SolveStats::wall_time`](rl_core::problem::SolveStats), this is
+    /// populated for failed solves too.
+    pub wall_time: Duration,
     /// The solve outcome, or the solver's error.
     pub outcome: Result<RunOutcome, LocalizationError>,
 }
@@ -186,9 +385,13 @@ pub struct RunOutcome {
 /// helpers.
 #[derive(Debug)]
 pub struct CampaignReport {
-    /// Every run, in execution order (source-major, then seed, then
-    /// localizer).
+    /// Every run, in canonical grid order (source-major, then seed, then
+    /// localizer) — independent of how cells were scheduled.
     pub runs: Vec<RunRecord>,
+    /// Worker threads the run actually used.
+    pub workers: usize,
+    /// Wall-clock time of the whole campaign.
+    pub total_wall: Duration,
 }
 
 impl CampaignReport {
@@ -230,8 +433,104 @@ impl CampaignReport {
         }
     }
 
+    /// Per-cell wall-time statistics `(mean, max)` over every run of the
+    /// cell (failed solves included), or `None` for an unknown cell.
+    pub fn wall_stats(&self, scenario: &str, localizer: &str) -> Option<(Duration, Duration)> {
+        let runs = self.runs_for(scenario, localizer);
+        if runs.is_empty() {
+            return None;
+        }
+        let total: Duration = runs.iter().map(|r| r.wall_time).sum();
+        let max = runs.iter().map(|r| r.wall_time).max().unwrap_or_default();
+        Some((total / runs.len() as u32, max))
+    }
+
+    /// A stable digest of the report's deterministic content: every
+    /// record's identity, solution positions (bit-exact), solver stats
+    /// (minus wall time), evaluations, and error messages. Two runs of the
+    /// same campaign agree on this fingerprint **iff** they reproduced
+    /// each other — regardless of worker count, chunking, or scheduling.
+    /// Wall-clock fields and [`CampaignReport::workers`] are excluded.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, stable across platforms and Rust versions (unlike
+        // `DefaultHasher`, which documents no stability guarantee).
+        struct Fnv(u64);
+        impl Fnv {
+            fn eat(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            fn eat_u64(&mut self, v: u64) {
+                self.eat(&v.to_le_bytes());
+            }
+            fn eat_f64(&mut self, v: f64) {
+                self.eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        // Length prefixes and Option discriminant bytes keep the encoding
+        // prefix-free: no two distinct reports serialize to the same byte
+        // stream.
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        for r in &self.runs {
+            h.eat_u64(r.scenario.len() as u64);
+            h.eat(r.scenario.as_bytes());
+            h.eat_u64(r.localizer.len() as u64);
+            h.eat(r.localizer.as_bytes());
+            h.eat_u64(r.seed);
+            match &r.outcome {
+                Ok(o) => {
+                    h.eat(&[1, o.solution.frame() as u8]);
+                    let positions = o.solution.positions();
+                    for i in 0..positions.len() {
+                        match positions.get(rl_core::types::NodeId(i)) {
+                            Some(p) => {
+                                h.eat(&[1]);
+                                h.eat_f64(p.x);
+                                h.eat_f64(p.y);
+                            }
+                            None => h.eat(&[0]),
+                        }
+                    }
+                    let stats = o.solution.stats();
+                    h.eat_u64(stats.iterations as u64);
+                    match stats.residual {
+                        Some(res) => {
+                            h.eat(&[1]);
+                            h.eat_f64(res);
+                        }
+                        None => h.eat(&[0]),
+                    }
+                    match &o.evaluation {
+                        Some(e) => {
+                            h.eat(&[1]);
+                            h.eat_u64(e.localized as u64);
+                            h.eat_u64(e.total as u64);
+                            h.eat_f64(e.mean_error);
+                            h.eat_f64(e.max_error);
+                            h.eat_u64(e.per_node.len() as u64);
+                            for &(id, err) in &e.per_node {
+                                h.eat_u64(id.index() as u64);
+                                h.eat_f64(err);
+                            }
+                        }
+                        None => h.eat(&[0]),
+                    }
+                }
+                Err(e) => {
+                    h.eat(&[0]);
+                    let msg = e.to_string();
+                    h.eat_u64(msg.len() as u64);
+                    h.eat(msg.as_bytes());
+                }
+            }
+        }
+        h.0
+    }
+
     /// The per-cell summary table: runs, solver failures, mean localized
-    /// count, mean error, and mean wall time.
+    /// count, mean error, and per-cell wall time (mean and max).
     pub fn summary_table(&self) -> Table {
         let mut t = Table::new(
             "campaign summary",
@@ -242,7 +541,8 @@ impl CampaignReport {
                 "failed",
                 "localized",
                 "mean_error_m",
-                "mean_wall_ms",
+                "wall_mean_ms",
+                "wall_max_ms",
             ],
         );
         for (scenario, localizer) in self.cells() {
@@ -264,15 +564,12 @@ impl CampaignReport {
                 .mean_error(&scenario, &localizer)
                 .map(m)
                 .unwrap_or_else(|| "n/a".to_string());
-            let wall: Vec<f64> = runs
-                .iter()
-                .filter_map(|r| r.outcome.as_ref().ok())
-                .map(|o| o.solution.stats().wall_time.as_secs_f64() * 1e3)
-                .collect();
-            let mean_wall = if wall.is_empty() {
-                "n/a".to_string()
-            } else {
-                format!("{:.1}", wall.iter().sum::<f64>() / wall.len() as f64)
+            let (wall_mean, wall_max) = match self.wall_stats(&scenario, &localizer) {
+                Some((mean, max)) => (
+                    format!("{:.1}", mean.as_secs_f64() * 1e3),
+                    format!("{:.1}", max.as_secs_f64() * 1e3),
+                ),
+                None => ("n/a".to_string(), "n/a".to_string()),
             };
             t.push(&[
                 scenario,
@@ -281,7 +578,8 @@ impl CampaignReport {
                 failed.to_string(),
                 localized,
                 mean_error,
-                mean_wall,
+                wall_mean,
+                wall_max,
             ]);
         }
         t
@@ -349,6 +647,7 @@ mod tests {
         assert_eq!(a.runs_for("parking-lot-15-5anchors", "mds-map").len(), 2);
 
         let b = build().run();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "campaigns must reproduce");
         for (ra, rb) in a.runs.iter().zip(&b.runs) {
             let ea = ra.outcome.as_ref().unwrap().evaluation.as_ref().unwrap();
             let eb = rb.outcome.as_ref().unwrap().evaluation.as_ref().unwrap();
@@ -359,7 +658,75 @@ mod tests {
         assert_eq!(table.len(), 2);
         let csv = table.to_csv();
         assert!(csv.contains("mds-map"));
+        assert!(csv.contains("wall_mean_ms"));
+        assert!(csv.contains("wall_max_ms"));
         assert!(!csv.contains("NaN"));
+    }
+
+    #[test]
+    fn worker_count_and_chunking_never_change_the_report() {
+        let campaign = Campaign::new()
+            .scenario(Scenario::parking_lot(11))
+            .scenario(Scenario::town(11))
+            .localizer(Box::new(LssSolver::new(LssConfig::default())))
+            .localizer(Box::new(MdsMapLocalizer::new()))
+            .trials(3, 3);
+        let reference = campaign.run_with(CampaignConfig::serial());
+        assert_eq!(reference.workers, 1);
+        assert_eq!(reference.runs.len(), 12, "2 scenarios x 3 seeds x 2 loc");
+        for config in [
+            CampaignConfig::default(),
+            CampaignConfig::default().with_workers(4),
+            CampaignConfig::default()
+                .with_workers(4)
+                .with_chunking(Chunking::Cell),
+            CampaignConfig::default()
+                .with_workers(3)
+                .with_chunking(Chunking::Cell),
+        ] {
+            let parallel = campaign.run_with(config);
+            assert_eq!(
+                parallel.fingerprint(),
+                reference.fingerprint(),
+                "schedule {config:?} must reproduce the serial report"
+            );
+            // Canonical order, not completion order.
+            for (a, b) in reference.runs.iter().zip(&parallel.runs) {
+                assert_eq!(a.scenario, b.scenario);
+                assert_eq!(a.localizer, b.localizer);
+                assert_eq!(a.seed, b.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn workers_clamp_to_units_and_zero_means_auto() {
+        let campaign = Campaign::new()
+            .scenario(Scenario::parking_lot(5))
+            .localizer(Box::new(MdsMapLocalizer::new()));
+        // One instance: even a 16-worker request uses a single worker.
+        let report = campaign.run_with(CampaignConfig::default().with_workers(16));
+        assert_eq!(report.workers, 1);
+        // Auto sizing resolves to at least one worker.
+        let auto = campaign.run_with(CampaignConfig::default());
+        assert!(auto.workers >= 1);
+        assert_eq!(auto.fingerprint(), report.fingerprint());
+    }
+
+    #[test]
+    fn wall_time_is_populated_per_record() {
+        let report = Campaign::new()
+            .scenario(Scenario::parking_lot(3))
+            .localizer(Box::new(MdsMapLocalizer::new()))
+            .seeds(&[1, 2])
+            .run();
+        assert!(report.runs.iter().all(|r| r.wall_time > Duration::ZERO));
+        let (mean, max) = report
+            .wall_stats("parking-lot-15-5anchors", "mds-map")
+            .unwrap();
+        assert!(mean > Duration::ZERO && max >= mean);
+        assert!(report.total_wall >= max);
+        assert_eq!(report.wall_stats("nope", "mds-map"), None);
     }
 
     #[test]
@@ -377,5 +744,9 @@ mod tests {
         assert_eq!(report.mean_error("grass-grid-47", "centroid"), None);
         let csv = report.summary_table().to_csv();
         assert!(csv.contains("n/a"));
+        // Failed cells still report wall time.
+        assert!(report
+            .wall_stats("grass-grid-47", "centroid")
+            .is_some_and(|(mean, _)| mean > Duration::ZERO));
     }
 }

@@ -1,0 +1,139 @@
+//! Metro-scale sweep: the campaign grid on deployments ~10× (and beyond)
+//! the paper's largest simulation, driven through the parallel runner.
+//!
+//! The paper tops out at a 59-node town (Figures 20–22). This experiment
+//! sweeps that same evaluation shape — identical error model, identical
+//! anchor protocol — up through metro deployments of 250, 500 and 1000
+//! nodes ([`rl_deploy::MetroMap`] district grids with obstruction
+//! belts), and runs the whole grid twice: once serially and once on the
+//! machine-sized worker pool, asserting the two reports are bit-identical
+//! before reporting per-cell wall times and the end-to-end speedup.
+
+use rl_core::baselines::{CentroidLocalizer, DvHopLocalizer};
+use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
+use rl_core::problem::Localizer;
+use rl_deploy::Scenario;
+use rl_net::RadioModel;
+
+use super::ExperimentResult;
+use crate::campaign::{Campaign, CampaignConfig};
+use crate::Table;
+
+/// The paper's ranging cutoff, shared by every metro cell.
+const RANGE_M: f64 = 22.0;
+
+/// The localizer panel that stays tractable at metro scale: progressive
+/// multilateration plus the two connectivity-only baselines. (Centralized
+/// LSS and MDS-MAP are O(n²)-dense / O(n³) respectively and are studied
+/// at town scale in the other experiments.)
+fn metro_localizers() -> Vec<Box<dyn Localizer>> {
+    vec![
+        Box::new(MultilaterationSolver::new(
+            MultilaterationConfig::paper().progressive(),
+        )),
+        Box::new(DvHopLocalizer::new(RadioModel::ideal(RANGE_M))),
+        Box::new(CentroidLocalizer::new(RANGE_M)),
+    ]
+}
+
+/// The sweep's scenario ladder: the paper's town, then metros at 250,
+/// 500 and 1000 nodes (10% anchors throughout, like the town's 18 of 59).
+fn metro_ladder(seed: u64) -> Vec<Scenario> {
+    vec![
+        Scenario::town(seed),
+        Scenario::metro_sized(250, 0.10, seed),
+        Scenario::metro_sized(500, 0.10, seed),
+        Scenario::metro(seed),
+    ]
+}
+
+/// **METRO** — town → metro-1000 scale sweep through the parallel
+/// campaign: per-scenario geometry, per-cell error and wall time, and the
+/// serial-vs-parallel end-to-end comparison (bit-identical reports
+/// asserted).
+pub fn metro_sweep(seed: u64) -> ExperimentResult {
+    let scenarios = metro_ladder(seed);
+
+    let mut geometry = Table::new(
+        "metro ladder geometry",
+        &["scenario", "nodes", "anchors", "pairs_lt_22m"],
+    );
+    for s in &scenarios {
+        geometry.push(&[
+            s.name.clone(),
+            s.deployment.len().to_string(),
+            s.anchors.len().to_string(),
+            s.deployment.pairs_within(RANGE_M).to_string(),
+        ]);
+    }
+
+    let mut campaign = Campaign::new()
+        .localizers(metro_localizers())
+        .seeds(&[seed]);
+    for s in scenarios {
+        campaign = campaign.scenario(s);
+    }
+
+    let parallel = campaign.run();
+    let serial = campaign.run_with(CampaignConfig::serial());
+    assert_eq!(
+        parallel.fingerprint(),
+        serial.fingerprint(),
+        "parallel metro sweep must reproduce the serial report bit-for-bit"
+    );
+
+    let speedup = serial.total_wall.as_secs_f64() / parallel.total_wall.as_secs_f64().max(1e-9);
+    ExperimentResult::new(
+        "METRO",
+        "metro-scale sweep (town..1000 nodes) through the parallel campaign",
+    )
+    .with_table(geometry)
+    .with_table(parallel.summary_table())
+    .with_note(format!(
+        "serial {:.2?} vs {} workers {:.2?} => {speedup:.2}x end-to-end; reports bit-identical \
+         (fingerprint {:#018x})",
+        serial.total_wall,
+        parallel.workers,
+        parallel.total_wall,
+        parallel.fingerprint(),
+    ))
+    .with_note(
+        "the metro generator tiles street-aligned districts behind obstruction belts; \
+         the 1000-node cell is ~17x the paper's 59-node town under the identical \
+         22 m / N(0, 0.33 m) error model",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metro_sweep_covers_the_ladder() {
+        // A reduced ladder keeps the test fast while exercising the same
+        // path as the experiment: metro scenarios through the parallel
+        // campaign with bit-identical serial replay.
+        let campaign = Campaign::new()
+            .scenario(Scenario::metro_sized(250, 0.10, 5))
+            .localizers(metro_localizers())
+            .seeds(&[5]);
+        let parallel = campaign.run();
+        let serial = campaign.run_with(CampaignConfig::serial());
+        assert_eq!(parallel.fingerprint(), serial.fingerprint());
+        assert_eq!(parallel.runs.len(), 3);
+        let csv = parallel.summary_table().to_csv();
+        assert!(csv.contains("metro-250-25anchors"));
+        // The anchor-based scheme must beat the connectivity baselines at
+        // metro scale too.
+        let mlat = parallel
+            .mean_error("metro-250-25anchors", "multilateration-progressive")
+            .unwrap();
+        let centroid = parallel
+            .mean_error("metro-250-25anchors", "centroid")
+            .unwrap();
+        assert!(
+            mlat < centroid,
+            "multilateration {mlat} vs centroid {centroid}"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 pub mod baselines;
 pub mod distributed;
 pub mod lss;
+pub mod metro;
 pub mod multilateration;
 pub mod ranging;
 pub mod signal;

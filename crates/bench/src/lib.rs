@@ -28,16 +28,44 @@
 //! | F23  | Fig. 23 error vs epoch | [`experiments::lss::figure23_error_vs_epoch`] |
 //! | F24  | Fig. 24 distributed LSS, sparse | [`experiments::distributed::figure24_sparse`] |
 //! | F25  | Fig. 25 distributed LSS, augmented | [`experiments::distributed::figure25_augmented`] |
+//! | METRO | metro-scale sweep (beyond the paper) | [`experiments::metro::metro_sweep`] |
 //!
 //! Ablations beyond the paper's figures: soft-constraint weight sweep,
 //! statistical-filter comparison, chirp-length sweep, detection-threshold
 //! sweep, transform-method comparison, and LSS initialization comparison —
 //! see the `ablations` module.
 //!
-//! The [`campaign`] module is the batch-scale seam: a [`Campaign`] runs a
-//! (scenarios × localizers × seeds) grid through the unified
-//! [`Localizer`](rl_core::problem::Localizer) trait and summarizes every
-//! cell; the solver-comparison experiments above are built on it.
+//! The [`campaign`] module is the batch-scale seam: a [`Campaign`] shards
+//! a (scenarios × localizers × seeds) grid across a `std::thread` worker
+//! pool, runs every cell through the unified
+//! [`Localizer`](rl_core::problem::Localizer) trait, and summarizes error
+//! and per-cell wall time. The report is bit-identical for any worker
+//! count (see the module docs for the determinism contract); the
+//! solver-comparison experiments above are built on it, and the `METRO`
+//! experiment pushes it to 1000-node deployments.
+//!
+//! ```
+//! use rl_bench::campaign::{Campaign, CampaignConfig};
+//! use rl_core::baselines::CentroidLocalizer;
+//! use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
+//! use rl_deploy::Scenario;
+//!
+//! let campaign = Campaign::new()
+//!     .scenario(Scenario::town(2005))
+//!     .localizer(Box::new(MultilaterationSolver::new(
+//!         MultilaterationConfig::paper().progressive(),
+//!     )))
+//!     .localizer(Box::new(CentroidLocalizer::new(22.0)))
+//!     .trials(2005, 2);
+//!
+//! // Machine-sized worker pool and an explicit 2-worker pool produce
+//! // the bit-identical report.
+//! let report = campaign.run();
+//! let two = campaign.run_with(CampaignConfig::default().with_workers(2));
+//! assert_eq!(report.fingerprint(), two.fingerprint());
+//! assert_eq!(report.runs.len(), 4);
+//! println!("{}", report.summary_table());
+//! ```
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -46,7 +74,7 @@ pub mod campaign;
 pub mod experiments;
 pub mod report;
 
-pub use campaign::{Campaign, CampaignReport};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, Chunking};
 pub use report::Table;
 
 /// The master seed all experiments derive their RNG streams from, so the

@@ -73,7 +73,14 @@ pub fn dv_hop<R: rand::Rng + ?Sized>(
         })
         .collect();
     let seed = rng.random::<u64>();
-    let mut sim = Simulator::new(nodes, truth_positions, radio.clone(), seed);
+    let sim = Simulator::new(nodes, truth_positions, radio.clone(), seed);
+    // The default event budget is a runaway-protocol guard sized for
+    // town-scale networks; `anchors` concurrent floods legitimately cost
+    // on the order of anchors x directed-edges events, so at metro scale
+    // (1000 nodes, 100 anchors) the budget must grow with the workload.
+    let edges = sim.topology().edge_count();
+    let budget = 1_000_000usize.max(8 * anchors.len() * edges + 1_000 * n);
+    let mut sim = sim.with_event_budget(budget);
     sim.run()
         .map_err(|_| LocalizationError::InvalidConfig("flooding exhausted the event budget"))?;
 

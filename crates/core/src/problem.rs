@@ -297,7 +297,16 @@ impl Solution {
 /// richer, algorithm-specific API) so heterogeneous solver sets can be
 /// swept over a shared [`Problem`]: `Vec<Box<dyn Localizer>>` is the
 /// comparison matrix the paper's evaluation is built from.
-pub trait Localizer {
+///
+/// # Thread safety
+///
+/// `Localizer` requires `Send + Sync` so campaign runners can fan a shared
+/// `&dyn Localizer` out across worker threads (each worker solves
+/// different cells of the grid with the *same* solver value). Localizers
+/// are configuration, not state: [`Localizer::localize`] takes `&self`,
+/// and all per-run mutability lives in the caller-supplied RNG, so plain
+/// config structs satisfy the bounds automatically.
+pub trait Localizer: Send + Sync {
     /// Short stable identifier for tables and reports, e.g. `"lss"`.
     fn name(&self) -> &str;
 
@@ -431,6 +440,17 @@ mod tests {
             p.evaluate(&solution),
             Err(LocalizationError::Evaluation(_))
         ));
+    }
+
+    #[test]
+    fn problem_and_solutions_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The campaign worker pool shares problems and boxed localizers by
+        // reference across threads and sends solutions back.
+        assert_send_sync::<Problem>();
+        assert_send_sync::<Solution>();
+        assert_send_sync::<Box<dyn Localizer>>();
+        assert_send_sync::<crate::eval::Evaluation>();
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //!   Figure 5 layout),
 //! * [`random`] — uniform random deployments with minimum separation,
 //! * [`town`] — the street-aligned town map generator,
+//! * [`metro`] — metro-scale district grids with obstruction belts
+//!   (thousands of nodes, ~10× and beyond the paper's town),
 //! * [`anchors`] — anchor selection strategies,
 //! * [`synth`] — synthetic measurement generation and augmentation,
-//! * [`scenario`] — the named paper scenarios used by the benchmark
-//!   harness.
+//! * [`scenario`] — the named paper scenarios (plus metro-scale
+//!   extensions) used by the benchmark harness.
 //!
 //! # Example
 //!
@@ -28,18 +30,35 @@
 //! let d = field.min_pair_distance().unwrap();
 //! assert!((d - 9.144).abs() < 1e-9);
 //! ```
+//!
+//! A [`Scenario`] bundles a deployment with anchors and a synthetic
+//! error model, and instantiates directly into a solver-ready
+//! [`Problem`](rl_core::problem::Problem):
+//!
+//! ```
+//! use rl_deploy::Scenario;
+//!
+//! // The paper's 59-node town, and a metro ~10x beyond it.
+//! let town = Scenario::town(7).instantiate(1);
+//! assert_eq!(town.node_count(), 59);
+//! let metro = Scenario::metro_sized(600, 0.1, 7);
+//! assert_eq!(metro.deployment.len(), 600);
+//! assert_eq!(metro.anchors.len(), 60);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod anchors;
 pub mod grid;
+pub mod metro;
 pub mod random;
 pub mod scenario;
 pub mod synth;
 pub mod town;
 
 pub use anchors::AnchorSelection;
+pub use metro::MetroMap;
 pub use scenario::Scenario;
 pub use synth::SyntheticRanging;
 

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::anchors::AnchorSelection;
 use crate::grid::OffsetGrid;
+use crate::metro::MetroMap;
 use crate::random::RandomDeployment;
 use crate::synth::SyntheticRanging;
 use crate::town::TownMap;
@@ -110,6 +111,64 @@ impl Scenario {
             name: "urban-60".into(),
             deployment: Deployment::new("urban-60", deployment.positions),
             anchors: Vec::new(),
+            ranging: SyntheticRanging::paper(),
+        }
+    }
+
+    /// A metro-scale deployment an order of magnitude beyond the paper's
+    /// town: 1000 nodes across an auto-sized district grid (obstruction
+    /// belts between districts), 10% of them anchors.
+    pub fn metro(seed: u64) -> Scenario {
+        Scenario::metro_sized(1000, 0.10, seed)
+    }
+
+    /// A metro with `nodes` nodes and `round(nodes × anchor_fraction)`
+    /// random anchors, on a district grid sized to the node count: the
+    /// smallest square-ish grid of default districts whose capacity holds
+    /// `nodes`. Auto-sizing keeps street density — and therefore
+    /// connectivity under the 22 m cutoff — roughly constant across the
+    /// whole scale ladder, instead of thinning a fixed map until its
+    /// streets break apart. (Below ~60 nodes even one district is
+    /// undersubscribed; use [`Scenario::town`] at that scale.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor_fraction` is outside `[0, 1]`.
+    pub fn metro_sized(nodes: usize, anchor_fraction: f64, seed: u64) -> Scenario {
+        let mut map = MetroMap::default_metro().with_districts(1, 1);
+        while map.capacity() < nodes {
+            let (dx, dy) = (map.districts_x, map.districts_y);
+            map = if dx == dy {
+                map.with_districts(dx + 1, dy)
+            } else {
+                map.with_districts(dx, dy + 1)
+            };
+        }
+        Scenario::metro_custom(map, nodes, anchor_fraction, seed)
+    }
+
+    /// A metro scenario on an explicit [`MetroMap`]: `nodes` nodes
+    /// subsampled from the map's candidates, `round(nodes ×
+    /// anchor_fraction)` random anchors, the paper's synthetic error
+    /// model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` exceeds the map's capacity or `anchor_fraction`
+    /// is outside `[0, 1]`.
+    pub fn metro_custom(map: MetroMap, nodes: usize, anchor_fraction: f64, seed: u64) -> Scenario {
+        assert!(
+            (0.0..=1.0).contains(&anchor_fraction),
+            "anchor_fraction {anchor_fraction} outside [0, 1]"
+        );
+        let mut rng = rl_math::rng::seeded(seed);
+        let deployment = map.generate(nodes, &mut rng);
+        let count = (nodes as f64 * anchor_fraction).round() as usize;
+        let anchors = AnchorSelection::Random { count }.select(&deployment, &mut rng);
+        Scenario {
+            name: format!("metro-{nodes}-{count}anchors"),
+            deployment,
+            anchors,
             ranging: SyntheticRanging::paper(),
         }
     }
@@ -224,6 +283,28 @@ mod tests {
     fn scenarios_are_deterministic() {
         assert_eq!(Scenario::town(5), Scenario::town(5));
         assert_ne!(Scenario::town(5), Scenario::town(6));
+        assert_eq!(Scenario::metro_sized(300, 0.1, 5), {
+            Scenario::metro_sized(300, 0.1, 5)
+        });
+    }
+
+    #[test]
+    fn metro_scenario_scales_past_the_town() {
+        let s = Scenario::metro(3);
+        assert_eq!(s.deployment.len(), 1000);
+        assert_eq!(s.anchors.len(), 100);
+        assert_eq!(s.name, "metro-1000-100anchors");
+        assert_eq!(s.non_anchors().len(), 900);
+        // Instantiation produces a consistent, evaluable problem at scale.
+        let p = s.instantiate(1);
+        assert_eq!(p.node_count(), 1000);
+        assert_eq!(p.anchors().len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn metro_rejects_bad_anchor_fraction() {
+        let _ = Scenario::metro_sized(100, 1.5, 1);
     }
 
     #[test]

@@ -30,6 +30,18 @@
 //!    practice: distinct seeds yield uncorrelated streams (SplitMix64
 //!    expansion into xoshiro256++ state), so sweeps over `seed in 0..n`
 //!    give independent replicates.
+//! 5. **Parallelism never touches a stream.** Work may be sharded across
+//!    threads only at boundaries where each shard owns a *whole* stream —
+//!    a generator created by [`seeded`] from a seed that is a pure
+//!    function of the shard's identity (e.g. `(trial seed, localizer
+//!    index)` in `rl_bench::campaign`), never of scheduling, thread ids,
+//!    or completion order. A single stream must not be drawn from by two
+//!    threads, and shard results must be merged in a canonical order
+//!    (grid order, node id order) rather than completion order before
+//!    they feed anything observable. Under these rules the same seed
+//!    produces a bit-identical report for *any* worker count — asserted
+//!    for `workers ∈ {1, 4}` by `tests/determinism.rs` at the repository
+//!    root and by the `campaign_smoke` release binary in CI.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

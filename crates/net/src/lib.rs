@@ -19,7 +19,15 @@
 //! * [`topology`] — connectivity graphs derived from node positions and
 //!   radio range.
 //!
-//! # Example
+//! Everything is deterministic: the event loop is driven by one seeded
+//! RNG, events at equal timestamps pop in a fixed order, and no code
+//! reads ambient entropy — so a simulation replays bit-for-bit and can
+//! safely run inside the sharded campaign workers of `rl-bench` (see the
+//! seeding contract in `rl_math::rng`).
+//!
+//! # Examples
+//!
+//! Connectivity from geometry — the substrate every protocol runs on:
 //!
 //! ```
 //! use rl_net::topology::Topology;
@@ -34,6 +42,23 @@
 //! assert!(topo.are_neighbors(rl_net::NodeId(0), rl_net::NodeId(1)));
 //! assert!(!topo.are_neighbors(rl_net::NodeId(0), rl_net::NodeId(2)));
 //! assert!(topo.is_connected());
+//! ```
+//!
+//! A full protocol run — flooding hop counts through the event
+//! simulator over an ideal radio:
+//!
+//! ```
+//! use rl_net::flood::run_flood;
+//! use rl_net::{NodeId, RadioModel};
+//! use rl_geom::Point2;
+//!
+//! let positions: Vec<Point2> =
+//!     (0..5).map(|i| Point2::new(i as f64 * 8.0, 0.0)).collect();
+//! let result = run_flood(&positions, RadioModel::ideal(10.0), NodeId(0), 7)?;
+//! assert_eq!(result.coverage, 1.0, "every node hears the flood");
+//! assert_eq!(result.hops[4], Some(4), "line topology: 4 hops to the end");
+//! assert_eq!(result.parents[4], Some(NodeId(3)));
+//! # Ok::<(), rl_net::NetError>(())
 //! ```
 
 #![deny(missing_docs)]

@@ -18,7 +18,14 @@ fn main() -> Result<()> {
     let campaign = figure5_head_to_head(2005);
     let report = campaign.run();
 
+    // The summary includes per-cell wall time (mean/max over runs).
     println!("{}", report.summary_table());
+    println!(
+        "campaign: {} cells in {:.1} ms on {} worker(s)\n",
+        report.runs.len(),
+        report.total_wall.as_secs_f64() * 1e3,
+        report.workers
+    );
 
     for (scenario, localizer) in report.cells() {
         for record in report.runs_for(&scenario, &localizer) {
@@ -38,6 +45,13 @@ fn main() -> Result<()> {
                 }
                 Err(e) => println!("{localizer:28} failed: {e}"),
             }
+        }
+        if let Some((mean, max)) = report.wall_stats(&scenario, &localizer) {
+            println!(
+                "{localizer:28}   wall time {:.1} ms mean / {:.1} ms max",
+                mean.as_secs_f64() * 1e3,
+                max.as_secs_f64() * 1e3
+            );
         }
     }
     Ok(())

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Docs link check: fail if any relative markdown link points at a file
+# that does not exist. External (http/https/mailto) links are skipped —
+# CI has no network. Run from the repository root; CI runs this on every
+# push (see .github/workflows/ci.yml).
+set -euo pipefail
+
+status=0
+while IFS= read -r file; do
+    # SNIPPETS.md and PAPERS.md quote third-party repo excerpts verbatim;
+    # their relative links point into repos we do not vendor.
+    case "$file" in
+        SNIPPETS.md | PAPERS.md) continue ;;
+    esac
+    dir=$(dirname "$file")
+    # Extract every ](target) markdown link target, strip anchors.
+    while IFS= read -r target; do
+        target=${target%%#*}
+        [[ -z "$target" ]] && continue
+        case "$target" in
+            http://* | https://* | mailto:*) continue ;;
+        esac
+        if [[ ! -e "$dir/$target" && ! -e "$target" ]]; then
+            echo "dead link in $file: $target" >&2
+            status=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
+done < <(git ls-files '*.md')
+
+if [[ $status -eq 0 ]]; then
+    echo "all relative markdown links resolve"
+fi
+exit $status

@@ -50,7 +50,8 @@
 //! [`Localizer`](rl_core::problem::Localizer) trait over a shared
 //! [`Problem`](rl_core::problem::Problem), and a
 //! [`Campaign`](rl_bench::campaign::Campaign) sweeps
-//! (scenarios × localizers × seeds) grids through it:
+//! (scenarios × localizers × seeds) grids through it — sharded across a
+//! worker pool, with a bit-identical report for any worker count:
 //!
 //! ```
 //! use resilient_localization::prelude::*;
@@ -88,7 +89,7 @@ pub use rl_signal as signal;
 /// the two-parameter form alongside the glob import should name
 /// `std::result::Result` explicitly.
 pub mod prelude {
-    pub use rl_bench::campaign::{Campaign, CampaignReport};
+    pub use rl_bench::campaign::{Campaign, CampaignConfig, CampaignReport, Chunking};
     pub use rl_core::baselines::{CentroidLocalizer, DvHopLocalizer};
     pub use rl_core::distributed::{DistributedConfig, DistributedSolver};
     pub use rl_core::eval::{evaluate_absolute, evaluate_against_truth, Evaluation};

@@ -52,6 +52,63 @@ fn different_seeds_give_different_estimates() {
     assert_ne!(a, b, "seed is being ignored somewhere in the pipeline");
 }
 
+/// The parallel-execution clause of the seeding contract (rule 5 in
+/// `rl_math::rng`): a campaign's report is **bit-identical** for any
+/// worker count, because every grid cell owns a whole RNG stream derived
+/// from `(trial seed, localizer index)` — never from scheduling — and
+/// records are merged in canonical grid order. Asserted here for
+/// `workers ∈ {1, 4}` on a multi-scenario, multi-seed grid, comparing
+/// both the report fingerprints and the raw coordinate bits.
+#[test]
+fn campaign_reports_are_bit_identical_for_1_and_4_workers() {
+    let campaign = Campaign::new()
+        .scenario(rl_deploy::Scenario::parking_lot(9))
+        .scenario(rl_deploy::Scenario::town(9))
+        .localizer(Box::new(LssSolver::new(
+            LssConfig::default().with_min_spacing(9.14, 10.0),
+        )))
+        .localizer(Box::new(MdsMapLocalizer::new()))
+        .trials(9, 2);
+
+    let coordinate_bits = |report: &CampaignReport| -> Vec<Vec<(u64, u64)>> {
+        report
+            .runs
+            .iter()
+            .map(|run| {
+                let positions = run
+                    .outcome
+                    .as_ref()
+                    .expect("solvable grid")
+                    .solution
+                    .positions();
+                (0..positions.len())
+                    .filter_map(|i| positions.get(NodeId(i)))
+                    .map(|p| (p.x.to_bits(), p.y.to_bits()))
+                    .collect()
+            })
+            .collect()
+    };
+
+    let one = campaign.run_with(CampaignConfig::default().with_workers(1));
+    let four = campaign.run_with(CampaignConfig::default().with_workers(4));
+    assert_eq!(one.workers, 1);
+    assert_eq!(four.workers, 4, "4 instances keep a 4-worker pool full");
+    assert_eq!(
+        one.fingerprint(),
+        four.fingerprint(),
+        "worker count leaked into the campaign report"
+    );
+    assert_eq!(coordinate_bits(&one), coordinate_bits(&four));
+
+    // Cell chunking is the other scheduling axis; it must not leak either.
+    let cells = campaign.run_with(
+        CampaignConfig::default()
+            .with_workers(4)
+            .with_chunking(Chunking::Cell),
+    );
+    assert_eq!(one.fingerprint(), cells.fingerprint());
+}
+
 /// The synthetic-ranging path (no acoustic simulation) obeys the same
 /// contract, covering the generator used by the benches and examples.
 #[test]

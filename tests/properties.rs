@@ -141,6 +141,42 @@ proptest! {
         prop_assert!(sol.stress() < 0.5 * set.len() as f64, "stress {}", sol.stress());
     }
 
+    /// Metro-generated deployments stay connected under the paper's 22 m
+    /// ranging cutoff — across district-grid shapes, subsample fractions
+    /// down to half the candidates, and seeds — and carry exactly the
+    /// requested anchor fraction. (Connectivity is what makes the
+    /// metro-scale campaign cells solvable at all: one severed district
+    /// and every protocol-driven localizer degrades to its island.)
+    #[test]
+    fn metro_deployments_are_connected_with_requested_anchor_fraction(
+        districts_x in 1usize..4,
+        districts_y in 1usize..3,
+        fill in 0.5f64..0.95,
+        anchor_fraction in 0.05f64..0.25,
+        seed in 0u64..1000,
+    ) {
+        let map = rl_deploy::MetroMap::default_metro()
+            .with_districts(districts_x, districts_y);
+        let nodes = (map.capacity() as f64 * fill) as usize;
+        let scenario =
+            rl_deploy::Scenario::metro_custom(map, nodes, anchor_fraction, seed);
+        prop_assert_eq!(scenario.deployment.len(), nodes);
+
+        let expected_anchors = (nodes as f64 * anchor_fraction).round() as usize;
+        prop_assert_eq!(scenario.anchors.len(), expected_anchors);
+        prop_assert!(scenario
+            .anchors
+            .iter()
+            .all(|a| a.index() < nodes));
+
+        let topo = rl_net::Topology::from_positions(&scenario.deployment.positions, 22.0);
+        prop_assert!(
+            topo.is_connected(),
+            "{} nodes over {}x{} districts disconnected under 22 m",
+            nodes, districts_x, districts_y
+        );
+    }
+
     /// Distances between solved coordinates reproduce the measurements
     /// (up to noise scale) whenever the solver reports low stress.
     #[test]
