@@ -1,0 +1,64 @@
+//! Release-mode smoke test for the six-family metro panel; run by CI.
+//!
+//! ```text
+//! cargo run --release -p rl-bench --bin metro_smoke
+//! ```
+//!
+//! Runs **every** solver family — centralized LSS (sparse constraint
+//! backend), progressive multilateration, distributed LSS, MDS-MAP
+//! (sparse eigensolver path), DV-hop, centroid — on a metro-250 scenario
+//! under a hard wall-time budget. Exits non-zero if any cell fails or
+//! the budget is exceeded, so "all solvers run at metro scale" is a
+//! property CI enforces, not a claim. (The budget is generous: it exists
+//! to catch accidental reintroduction of an O(n²)–O(n³) dense stage,
+//! which blows the runtime up by orders of magnitude, not to benchmark.)
+
+use std::time::{Duration, Instant};
+
+use rl_bench::campaign::Campaign;
+use rl_bench::experiments::metro::metro_localizers;
+use rl_bench::MASTER_SEED;
+use rl_deploy::Scenario;
+
+/// Hard end-to-end budget for the six-cell metro-250 panel. The sparse
+/// paths finish the grid in seconds; a dense regression at this size
+/// costs minutes.
+const WALL_BUDGET: Duration = Duration::from_secs(300);
+
+fn main() {
+    let campaign = Campaign::new()
+        .scenario(Scenario::metro_sized(250, 0.10, MASTER_SEED))
+        .localizers(metro_localizers())
+        .seeds(&[MASTER_SEED]);
+
+    let started = Instant::now();
+    let report = campaign.run();
+    let elapsed = started.elapsed();
+
+    println!("{}", report.summary_table());
+    println!(
+        "six-family metro-250 panel: {} cells in {:.1?} (budget {:.0?})",
+        report.runs.len(),
+        elapsed,
+        WALL_BUDGET,
+    );
+
+    let mut failed = false;
+    for run in &report.runs {
+        if let Err(e) = &run.outcome {
+            eprintln!("SOLVER FAILURE: {} on {}: {e}", run.localizer, run.scenario);
+            failed = true;
+        }
+    }
+    if elapsed > WALL_BUDGET {
+        eprintln!(
+            "WALL BUDGET EXCEEDED: {elapsed:.1?} > {WALL_BUDGET:.0?} — \
+             a dense-path regression has likely crept into a metro cell"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all six solver families run at metro scale; sparse backend OK");
+}

@@ -433,6 +433,42 @@ impl CampaignReport {
         }
     }
 
+    /// Mean solver-iteration count of a cell over its successful runs
+    /// (descent iterations, protocol messages, eigensolver iterations —
+    /// see [`SolveStats::iterations`](rl_core::problem::SolveStats)), or
+    /// `None` when every run failed.
+    pub fn mean_iterations(&self, scenario: &str, localizer: &str) -> Option<f64> {
+        let iters: Vec<usize> = self
+            .runs_for(scenario, localizer)
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .map(|o| o.solution.stats().iterations)
+            .collect();
+        if iters.is_empty() {
+            None
+        } else {
+            Some(iters.iter().sum::<usize>() as f64 / iters.len() as f64)
+        }
+    }
+
+    /// Convergence tally of a cell: `(converged, reporting)` over the
+    /// successful runs whose solver reports a convergence criterion
+    /// (`SolveStats::converged` of `Some(..)`), or `None` when no run
+    /// reports one (closed-form baselines, protocol solvers).
+    pub fn convergence(&self, scenario: &str, localizer: &str) -> Option<(usize, usize)> {
+        let flags: Vec<bool> = self
+            .runs_for(scenario, localizer)
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().ok())
+            .filter_map(|o| o.solution.stats().converged)
+            .collect();
+        if flags.is_empty() {
+            None
+        } else {
+            Some((flags.iter().filter(|&&c| c).count(), flags.len()))
+        }
+    }
+
     /// Per-cell wall-time statistics `(mean, max)` over every run of the
     /// cell (failed solves included), or `None` for an unknown cell.
     pub fn wall_stats(&self, scenario: &str, localizer: &str) -> Option<(Duration, Duration)> {
@@ -502,6 +538,10 @@ impl CampaignReport {
                         }
                         None => h.eat(&[0]),
                     }
+                    match stats.converged {
+                        Some(c) => h.eat(&[1, c as u8]),
+                        None => h.eat(&[0]),
+                    }
                     match &o.evaluation {
                         Some(e) => {
                             h.eat(&[1]);
@@ -530,7 +570,8 @@ impl CampaignReport {
     }
 
     /// The per-cell summary table: runs, solver failures, mean localized
-    /// count, mean error, and per-cell wall time (mean and max).
+    /// count, mean error, mean iteration count, convergence tally, and
+    /// per-cell wall time (mean and max).
     pub fn summary_table(&self) -> Table {
         let mut t = Table::new(
             "campaign summary",
@@ -541,6 +582,8 @@ impl CampaignReport {
                 "failed",
                 "localized",
                 "mean_error_m",
+                "iters_mean",
+                "converged",
                 "wall_mean_ms",
                 "wall_max_ms",
             ],
@@ -564,6 +607,14 @@ impl CampaignReport {
                 .mean_error(&scenario, &localizer)
                 .map(m)
                 .unwrap_or_else(|| "n/a".to_string());
+            let iters_mean = self
+                .mean_iterations(&scenario, &localizer)
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "n/a".to_string());
+            let converged = self
+                .convergence(&scenario, &localizer)
+                .map(|(ok, total)| format!("{ok}/{total}"))
+                .unwrap_or_else(|| "n/a".to_string());
             let (wall_mean, wall_max) = match self.wall_stats(&scenario, &localizer) {
                 Some((mean, max)) => (
                     format!("{:.1}", mean.as_secs_f64() * 1e3),
@@ -578,6 +629,8 @@ impl CampaignReport {
                 failed.to_string(),
                 localized,
                 mean_error,
+                iters_mean,
+                converged,
                 wall_mean,
                 wall_max,
             ]);
@@ -658,9 +711,24 @@ mod tests {
         assert_eq!(table.len(), 2);
         let csv = table.to_csv();
         assert!(csv.contains("mds-map"));
+        assert!(csv.contains("iters_mean"));
+        assert!(csv.contains("converged"));
         assert!(csv.contains("wall_mean_ms"));
         assert!(csv.contains("wall_max_ms"));
         assert!(!csv.contains("NaN"));
+        // LSS reports a convergence criterion (2/2 here), mds-map reports
+        // closed-form success; per-cell iteration means are exposed.
+        assert_eq!(
+            a.convergence("parking-lot-15-5anchors", "lss"),
+            Some((2, 2))
+        );
+        assert_eq!(
+            a.convergence("parking-lot-15-5anchors", "mds-map"),
+            Some((2, 2))
+        );
+        assert!(a.mean_iterations("parking-lot-15-5anchors", "lss").unwrap() > 0.0);
+        assert_eq!(a.mean_iterations("nope", "lss"), None);
+        assert_eq!(a.convergence("nope", "lss"), None);
     }
 
     #[test]

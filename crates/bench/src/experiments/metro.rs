@@ -5,11 +5,20 @@
 //! sweeps that same evaluation shape — identical error model, identical
 //! anchor protocol — up through metro deployments of 250, 500 and 1000
 //! nodes ([`rl_deploy::MetroMap`] district grids with obstruction
-//! belts), and runs the whole grid twice: once serially and once on the
-//! machine-sized worker pool, asserting the two reports are bit-identical
-//! before reporting per-cell wall times and the end-to-end speedup.
+//! belts), and runs **all six solver families** over the whole ladder:
+//! the sparse linear-algebra backend (`rl_math::sparse`) makes
+//! centralized LSS and MDS-MAP — formerly `O(n²)`-dense / `O(n³)` and
+//! town-bound — tractable at the 1000-node rung, so the head-to-head
+//! comparison the paper's resilience claims rest on finally covers every
+//! family at every scale. The grid runs twice, once serially and once on
+//! the machine-sized worker pool, asserting the two reports are
+//! bit-identical before reporting per-cell error, iterations,
+//! convergence and wall time.
 
 use rl_core::baselines::{CentroidLocalizer, DvHopLocalizer};
+use rl_core::distributed::{DistributedConfig, DistributedSolver};
+use rl_core::lss::{LssConfig, LssSolver};
+use rl_core::mds::MdsMapLocalizer;
 use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
 use rl_core::problem::Localizer;
 use rl_deploy::Scenario;
@@ -22,15 +31,25 @@ use crate::Table;
 /// The paper's ranging cutoff, shared by every metro cell.
 const RANGE_M: f64 = 22.0;
 
-/// The localizer panel that stays tractable at metro scale: progressive
-/// multilateration plus the two connectivity-only baselines. (Centralized
-/// LSS and MDS-MAP are O(n²)-dense / O(n³) respectively and are studied
-/// at town scale in the other experiments.)
-fn metro_localizers() -> Vec<Box<dyn Localizer>> {
+/// The full six-family panel, metro-tuned where it matters:
+///
+/// * centralized LSS runs [`LssConfig::metro`] (anchor-free + soft
+///   constraint, MDS-MAP seeding, short restart schedule) on the sparse
+///   constraint backend,
+/// * MDS-MAP auto-selects the sparse path (CSR Dijkstra completion +
+///   iterative top-2 eigensolver) above the backend threshold,
+/// * the remaining four families were already metro-tractable and run
+///   their standard configurations.
+pub fn metro_localizers() -> Vec<Box<dyn Localizer>> {
     vec![
+        Box::new(LssSolver::new(LssConfig::metro())),
         Box::new(MultilaterationSolver::new(
             MultilaterationConfig::paper().progressive(),
         )),
+        Box::new(DistributedSolver::new(
+            DistributedConfig::default().with_min_spacing(9.14, 10.0),
+        )),
+        Box::new(MdsMapLocalizer::new()),
         Box::new(DvHopLocalizer::new(RadioModel::ideal(RANGE_M))),
         Box::new(CentroidLocalizer::new(RANGE_M)),
     ]
@@ -47,8 +66,9 @@ fn metro_ladder(seed: u64) -> Vec<Scenario> {
     ]
 }
 
-/// **METRO** — town → metro-1000 scale sweep through the parallel
-/// campaign: per-scenario geometry, per-cell error and wall time, and the
+/// **METRO** — town → metro-1000 scale sweep of the full six-family
+/// panel through the parallel campaign: per-scenario geometry, per-cell
+/// error / iterations / convergence / wall time, and the
 /// serial-vs-parallel end-to-end comparison (bit-identical reports
 /// asserted).
 pub fn metro_sweep(seed: u64) -> ExperimentResult {
@@ -85,7 +105,7 @@ pub fn metro_sweep(seed: u64) -> ExperimentResult {
     let speedup = serial.total_wall.as_secs_f64() / parallel.total_wall.as_secs_f64().max(1e-9);
     ExperimentResult::new(
         "METRO",
-        "metro-scale sweep (town..1000 nodes) through the parallel campaign",
+        "metro-scale sweep (town..1000 nodes), all six families, parallel campaign",
     )
     .with_table(geometry)
     .with_table(parallel.summary_table())
@@ -98,6 +118,11 @@ pub fn metro_sweep(seed: u64) -> ExperimentResult {
         parallel.fingerprint(),
     ))
     .with_note(
+        "all six solver families run at every rung: the sparse backend (CSR shortest paths, \
+         iterative top-2 eigensolver, spatial-grid soft constraint) replaces the dense \
+         O(n^2)-O(n^3) stages that previously confined LSS and MDS-MAP to town scale",
+    )
+    .with_note(
         "the metro generator tiles street-aligned districts behind obstruction belts; \
          the 1000-node cell is ~17x the paper's 59-node town under the identical \
          22 m / N(0, 0.33 m) error model",
@@ -109,13 +134,64 @@ mod tests {
     use super::*;
 
     #[test]
+    fn panel_covers_all_six_families() {
+        let names: Vec<String> = metro_localizers()
+            .iter()
+            .map(|l| l.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "lss-anchor-free+constraint",
+                "multilateration-progressive",
+                "distributed-lss",
+                "mds-map",
+                "dv-hop",
+                "centroid",
+            ]
+        );
+    }
+
+    #[test]
+    fn six_family_panel_solves_the_town_rung() {
+        // The full panel on the ladder's first rung (the paper's town)
+        // keeps this test debug-fast while exercising exactly the cells
+        // the experiment runs; the metro rungs run in release via the
+        // `metro_smoke` CI binary and the figures experiment.
+        let campaign = Campaign::new()
+            .scenario(Scenario::town(5))
+            .localizers(metro_localizers())
+            .seeds(&[5]);
+        let parallel = campaign.run();
+        let serial = campaign.run_with(CampaignConfig::serial());
+        assert_eq!(parallel.fingerprint(), serial.fingerprint());
+        assert_eq!(parallel.runs.len(), 6);
+        for run in &parallel.runs {
+            assert!(
+                run.outcome.is_ok(),
+                "{} failed: {:?}",
+                run.localizer,
+                run.outcome.as_ref().err()
+            );
+        }
+    }
+
+    #[test]
     fn metro_sweep_covers_the_ladder() {
-        // A reduced ladder keeps the test fast while exercising the same
-        // path as the experiment: metro scenarios through the parallel
-        // campaign with bit-identical serial replay.
+        // A reduced ladder with the metro-tractable subset keeps the test
+        // fast in debug while exercising the same path as the experiment:
+        // metro scenarios through the parallel campaign with bit-identical
+        // serial replay.
+        let cheap: Vec<Box<dyn Localizer>> = vec![
+            Box::new(MultilaterationSolver::new(
+                MultilaterationConfig::paper().progressive(),
+            )),
+            Box::new(DvHopLocalizer::new(RadioModel::ideal(RANGE_M))),
+            Box::new(CentroidLocalizer::new(RANGE_M)),
+        ];
         let campaign = Campaign::new()
             .scenario(Scenario::metro_sized(250, 0.10, 5))
-            .localizers(metro_localizers())
+            .localizers(cheap)
             .seeds(&[5]);
         let parallel = campaign.run();
         let serial = campaign.run_with(CampaignConfig::serial());

@@ -245,6 +245,7 @@ impl crate::problem::Localizer for DvHopLocalizer {
             SolveStats {
                 iterations: 0,
                 residual: None,
+                converged: None,
                 wall_time: start.elapsed(),
             },
         ))
@@ -287,6 +288,7 @@ impl crate::problem::Localizer for CentroidLocalizer {
             SolveStats {
                 iterations: 0,
                 residual: None,
+                converged: None,
                 wall_time: start.elapsed(),
             },
         ))

@@ -480,6 +480,9 @@ impl crate::problem::Localizer for DistributedSolver {
             SolveStats {
                 iterations: out.messages_delivered,
                 residual: None,
+                // The protocol terminates by message quiescence, not by a
+                // numerical criterion.
+                converged: None,
                 wall_time: start.elapsed(),
             },
         ))

@@ -68,7 +68,7 @@ pub mod types;
 pub use eval::{evaluate_against_truth, Evaluation};
 pub use lss::{LssConfig, LssSolution, LssSolver};
 pub use multilateration::{MultilaterationConfig, MultilaterationSolver};
-pub use problem::{Frame, Localizer, Problem, Solution, SolveStats};
+pub use problem::{Frame, Localizer, Problem, Solution, SolveStats, SolverBackend};
 pub use types::{Anchor, PositionMap};
 
 /// Error type for localization algorithms.

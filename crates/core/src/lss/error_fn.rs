@@ -15,9 +15,33 @@
 //!
 //! The configuration vector is laid out `[x_0 … x_{n−1}, y_0 … y_{n−1}]`,
 //! matching the paper's gradient formulas.
+//!
+//! # Constraint backends
+//!
+//! The measured sum is always evaluated over the sparse edge list, but
+//! the soft constraint ranges over the *complement* of the measurement
+//! graph — `O(n²)` pairs. Two interchangeable backends evaluate it
+//! (selected by [`rl_core::SolverBackend`](crate::SolverBackend), `Auto`
+//! by problem size):
+//!
+//! * **Dense** materializes the complement pair list once and scans it on
+//!   every evaluation — exact, simple, `O(n²)` memory *and* time per
+//!   gradient step; the reference at paper scale.
+//! * **Sparse** exploits that only pairs closer than `d_min` contribute:
+//!   every evaluation bins the current configuration into a uniform grid
+//!   of cell size `d_min` and visits only neighboring-cell pairs, in
+//!   `O(n + a)` for `a` active pairs. Because non-violating pairs
+//!   contribute exactly `+0.0` to the sum (and are skipped by the dense
+//!   gradient too), the sparse backend reproduces the dense objective
+//!   **bit for bit** — same value, same gradient, so the whole descent
+//!   trajectory is identical. `tests/sparse_parity.rs` asserts this.
+
+use std::collections::HashSet;
 
 use rl_math::gradient::Objective;
 use rl_ranging::measurement::MeasurementSet;
+
+use crate::problem::SolverBackend;
 
 /// Guard against division by a vanishing computed distance.
 const MIN_DISTANCE: f64 = 1e-9;
@@ -32,44 +56,77 @@ pub struct SoftConstraint {
     pub weight: f64,
 }
 
+/// How the soft constraint's complement sum is evaluated (see the module
+/// docs).
+#[derive(Debug, Clone)]
+enum ConstraintBackend {
+    /// No soft constraint configured.
+    Off,
+    /// Materialized complement pair list, scanned per evaluation.
+    Dense {
+        /// Unmeasured pairs `(i, j)` with `i < j`, sorted.
+        unmeasured: Vec<(usize, usize)>,
+    },
+    /// Spatial-grid active set, rebuilt per evaluation.
+    Sparse {
+        /// Measured pairs `(min, max)` for exclusion during grid sweeps.
+        measured_lookup: HashSet<(usize, usize)>,
+    },
+}
+
 /// The LSS stress objective over a measurement set.
 #[derive(Debug, Clone)]
 pub struct LssObjective {
     n: usize,
     /// Measured pairs: `(i, j, distance, weight)`.
     measured: Vec<(usize, usize, f64, f64)>,
-    /// Unmeasured pairs (complement of `measured`), for the constraint.
-    unmeasured: Vec<(usize, usize)>,
     soft: Option<SoftConstraint>,
+    backend: ConstraintBackend,
 }
 
 impl LssObjective {
-    /// Builds the objective. When `soft` is set, the complement pair list
-    /// is materialized (O(n²) memory, fine for the paper's network sizes).
+    /// Builds the objective with automatic backend selection
+    /// ([`SolverBackend::Auto`]): the dense complement list below the
+    /// size threshold, the spatial-grid active set above it.
     pub fn new(set: &MeasurementSet, soft: Option<SoftConstraint>) -> Self {
+        Self::with_backend(set, soft, SolverBackend::Auto)
+    }
+
+    /// Builds the objective on an explicit constraint backend. When
+    /// `soft` is `None` the backend choice is irrelevant (the constraint
+    /// machinery is skipped entirely).
+    pub fn with_backend(
+        set: &MeasurementSet,
+        soft: Option<SoftConstraint>,
+        backend: SolverBackend,
+    ) -> Self {
         let n = set.node_count();
         let measured: Vec<(usize, usize, f64, f64)> = set
             .iter_weighted()
             .map(|(a, b, d, w)| (a.index(), b.index(), d, w))
             .collect();
-        let unmeasured = if soft.is_some() {
-            let mut out = Vec::new();
+        let backend = if soft.is_none() {
+            ConstraintBackend::Off
+        } else if backend.use_sparse(n) {
+            ConstraintBackend::Sparse {
+                measured_lookup: measured.iter().map(|&(i, j, _, _)| (i, j)).collect(),
+            }
+        } else {
+            let mut unmeasured = Vec::new();
             for i in 0..n {
                 for j in (i + 1)..n {
                     if !set.contains(rl_net::NodeId(i), rl_net::NodeId(j)) {
-                        out.push((i, j));
+                        unmeasured.push((i, j));
                     }
                 }
             }
-            out
-        } else {
-            Vec::new()
+            ConstraintBackend::Dense { unmeasured }
         };
         LssObjective {
             n,
             measured,
-            unmeasured,
             soft,
+            backend,
         }
     }
 
@@ -83,9 +140,19 @@ impl LssObjective {
         self.measured.len()
     }
 
-    /// Number of unmeasured pairs subject to the soft constraint.
+    /// Number of unmeasured pairs subject to the soft constraint (the
+    /// complement size; the sparse backend never materializes them but
+    /// the count is the same).
     pub fn constrained_pairs(&self) -> usize {
-        self.unmeasured.len()
+        if self.soft.is_none() {
+            return 0;
+        }
+        self.n * (self.n - 1) / 2 - self.measured.len()
+    }
+
+    /// Whether the spatial-grid (sparse) constraint backend is active.
+    pub fn uses_sparse_constraint(&self) -> bool {
+        matches!(self.backend, ConstraintBackend::Sparse { .. })
     }
 
     /// Extracts `(x_i, y_i)` from the flat configuration vector.
@@ -94,17 +161,80 @@ impl LssObjective {
         (x[i], x[n + i])
     }
 
+    /// The unmeasured pairs violating the constraint at `x` (distance
+    /// strictly below `d_min`) with their distances, sorted ascending by
+    /// pair — the only pairs with a nonzero constraint contribution. The
+    /// sort keeps the accumulation order identical to the dense backend's
+    /// `i < j` scan, which is what makes the two backends bit-identical.
+    fn violating_pairs(&self, x: &[f64]) -> Vec<(usize, usize, f64)> {
+        let Some(soft) = self.soft else {
+            return Vec::new();
+        };
+        let d_min = soft.min_spacing_m;
+        match &self.backend {
+            ConstraintBackend::Off => Vec::new(),
+            ConstraintBackend::Dense { unmeasured } => unmeasured
+                .iter()
+                .filter_map(|&(i, j)| {
+                    let (xi, yi) = Self::coords(x, self.n, i);
+                    let (xj, yj) = Self::coords(x, self.n, j);
+                    let dist = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                    (dist < d_min).then_some((i, j, dist))
+                })
+                .collect(),
+            ConstraintBackend::Sparse { measured_lookup } => {
+                // Uniform grid with cell size d_min: any pair closer than
+                // d_min lives in the same or an adjacent cell. The grid is
+                // a flat sorted `(cell_x, cell_y, node)` index — binary
+                // searched per neighbor column, no per-cell allocations.
+                // f64-to-i64 casts saturate, so non-finite probe points
+                // cannot panic (the optimizer rejects them by value).
+                let n = self.n;
+                let cell_of = |px: f64, py: f64| -> (i64, i64) {
+                    ((px / d_min).floor() as i64, (py / d_min).floor() as i64)
+                };
+                let mut keyed: Vec<(i64, i64, u32)> = (0..n)
+                    .map(|i| {
+                        let (xi, yi) = Self::coords(x, n, i);
+                        let (cx, cy) = cell_of(xi, yi);
+                        (cx, cy, i as u32)
+                    })
+                    .collect();
+                keyed.sort_unstable();
+                let mut out = Vec::new();
+                for i in 0..n {
+                    let (xi, yi) = Self::coords(x, n, i);
+                    let (cx, cy) = cell_of(xi, yi);
+                    for dx in -1..=1i64 {
+                        // Entries of column cx+dx with cell_y in
+                        // [cy-1, cy+1] form one contiguous sorted run.
+                        let kx = cx.saturating_add(dx);
+                        let y_lo = cy.saturating_sub(1);
+                        let y_hi = cy.saturating_add(1);
+                        let lo = keyed.partition_point(|&(a, b, _)| (a, b) < (kx, y_lo));
+                        let hi = keyed.partition_point(|&(a, b, _)| (a, b) <= (kx, y_hi));
+                        for &(_, _, j) in &keyed[lo..hi] {
+                            let j = j as usize;
+                            if j <= i || measured_lookup.contains(&(i, j)) {
+                                continue;
+                            }
+                            let (xj, yj) = Self::coords(x, n, j);
+                            let dist = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
+                            if dist < d_min {
+                                out.push((i, j, dist));
+                            }
+                        }
+                    }
+                }
+                out.sort_unstable_by_key(|&(i, j, _)| (i, j));
+                out
+            }
+        }
+    }
+
     /// How many unmeasured pairs currently violate the constraint at `x`.
     pub fn active_constraints(&self, x: &[f64]) -> usize {
-        let Some(soft) = self.soft else { return 0 };
-        self.unmeasured
-            .iter()
-            .filter(|&&(i, j)| {
-                let (xi, yi) = Self::coords(x, self.n, i);
-                let (xj, yj) = Self::coords(x, self.n, j);
-                ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt() < soft.min_spacing_m
-            })
-            .count()
+        self.violating_pairs(x).len()
     }
 }
 
@@ -123,12 +253,13 @@ impl Objective for LssObjective {
             e += w * (dc - d) * (dc - d);
         }
         if let Some(soft) = self.soft {
-            for &(i, j) in &self.unmeasured {
-                let (xi, yi) = Self::coords(x, n, i);
-                let (xj, yj) = Self::coords(x, n, j);
-                let dc = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt();
-                let clamped = dc.min(soft.min_spacing_m);
-                let diff = clamped - soft.min_spacing_m;
+            // Only violating pairs contribute: clamped pairs at d_min add
+            // exactly +0.0, so summing the violators alone (in the same
+            // i < j order) reproduces the dense full-complement scan bit
+            // for bit. Violators are strictly inside d_min, so the
+            // min-clamp is a no-op and the grid's distance is reused.
+            for (_, _, dc) in self.violating_pairs(x) {
+                let diff = dc - soft.min_spacing_m;
                 e += soft.weight * diff * diff;
             }
         }
@@ -151,16 +282,12 @@ impl Objective for LssObjective {
             grad[n + j] -= factor * dy;
         }
         if let Some(soft) = self.soft {
-            for &(i, j) in &self.unmeasured {
+            for (i, j, dist) in self.violating_pairs(x) {
                 let (xi, yi) = Self::coords(x, n, i);
                 let (xj, yj) = Self::coords(x, n, j);
                 let dx = xi - xj;
                 let dy = yi - yj;
-                let dc = (dx * dx + dy * dy).sqrt();
-                if dc >= soft.min_spacing_m {
-                    continue;
-                }
-                let dc = dc.max(MIN_DISTANCE);
+                let dc = dist.max(MIN_DISTANCE);
                 let factor = 2.0 * soft.weight * (dc - soft.min_spacing_m) / dc;
                 grad[i] += factor * dx;
                 grad[j] -= factor * dx;
@@ -251,12 +378,15 @@ mod tests {
             min_spacing_m: 6.0,
             weight: 10.0,
         };
-        let obj = LssObjective::new(&set, Some(soft));
-        assert_eq!(obj.constrained_pairs(), 4);
-        // Configuration with some constrained pairs inside d_min and some
-        // outside (avoid the non-differentiable point dc == d_min).
-        let x = [0.0, 5.0, 1.0, 9.0, 0.0, 0.0, 2.0, 1.5];
-        check_gradient(&obj, &x);
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let obj = LssObjective::with_backend(&set, Some(soft), backend);
+            assert_eq!(obj.constrained_pairs(), 4);
+            // Configuration with some constrained pairs inside d_min and
+            // some outside (avoid the non-differentiable point
+            // dc == d_min).
+            let x = [0.0, 5.0, 1.0, 9.0, 0.0, 0.0, 2.0, 1.5];
+            check_gradient(&obj, &x);
+        }
     }
 
     #[test]
@@ -267,21 +397,69 @@ mod tests {
             min_spacing_m: 6.0,
             weight: 10.0,
         };
-        let obj = LssObjective::new(&set, Some(soft));
-        // Pairs (0,2) and (1,2) are unmeasured. Put node 2 far away:
-        // no penalty.
-        let far = [0.0, 5.0, 100.0, 0.0, 0.0, 0.0];
-        assert!(obj.value(&far) < 1e-18);
-        assert_eq!(obj.active_constraints(&far), 0);
-        // Node 2 at 3 m from node 0: one active violation of (6-3)².
-        let near = [0.0, 5.0, 3.0, 0.0, 0.0, 0.0];
-        let expected = 10.0 * (3.0f64 - 6.0).powi(2) + 10.0 * (2.0f64 - 6.0).powi(2);
-        assert!(
-            (obj.value(&near) - expected).abs() < 1e-9,
-            "value {} expected {expected}",
-            obj.value(&near)
-        );
-        assert_eq!(obj.active_constraints(&near), 2);
+        for backend in [SolverBackend::Dense, SolverBackend::Sparse] {
+            let obj = LssObjective::with_backend(&set, Some(soft), backend);
+            // Pairs (0,2) and (1,2) are unmeasured. Put node 2 far away:
+            // no penalty.
+            let far = [0.0, 5.0, 100.0, 0.0, 0.0, 0.0];
+            assert!(obj.value(&far) < 1e-18);
+            assert_eq!(obj.active_constraints(&far), 0);
+            // Node 2 at 3 m from node 0: one active violation of (6-3)².
+            let near = [0.0, 5.0, 3.0, 0.0, 0.0, 0.0];
+            let expected = 10.0 * (3.0f64 - 6.0).powi(2) + 10.0 * (2.0f64 - 6.0).powi(2);
+            assert!(
+                (obj.value(&near) - expected).abs() < 1e-9,
+                "value {} expected {expected}",
+                obj.value(&near)
+            );
+            assert_eq!(obj.active_constraints(&near), 2);
+        }
+    }
+
+    #[test]
+    fn backend_auto_selects_by_size_and_both_agree_bitwise() {
+        let mut set = MeasurementSet::new(6);
+        set.insert(NodeId(0), NodeId(1), 4.0);
+        set.insert(NodeId(2), NodeId(4), 3.0);
+        let soft = Some(SoftConstraint {
+            min_spacing_m: 5.0,
+            weight: 10.0,
+        });
+        let auto = LssObjective::new(&set, soft);
+        assert!(!auto.uses_sparse_constraint(), "6 nodes stay dense");
+        let dense = LssObjective::with_backend(&set, soft, SolverBackend::Dense);
+        let sparse = LssObjective::with_backend(&set, soft, SolverBackend::Sparse);
+        assert!(sparse.uses_sparse_constraint());
+        assert_eq!(dense.constrained_pairs(), sparse.constrained_pairs());
+
+        // A messy configuration with several violations: value and
+        // gradient must agree bit for bit across backends.
+        let x = [0.0, 1.0, 2.0, 7.5, 3.0, 9.0, 0.0, 0.5, 1.0, 8.0, 2.0, 7.0];
+        assert_eq!(dense.value(&x).to_bits(), sparse.value(&x).to_bits());
+        let mut gd = vec![0.0; 12];
+        let mut gs = vec![0.0; 12];
+        dense.gradient(&x, &mut gd);
+        sparse.gradient(&x, &mut gs);
+        for (a, b) in gd.iter().zip(&gs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(dense.active_constraints(&x), sparse.active_constraints(&x));
+    }
+
+    #[test]
+    fn sparse_backend_tolerates_non_finite_probe_points() {
+        let mut set = MeasurementSet::new(3);
+        set.insert(NodeId(0), NodeId(1), 5.0);
+        let soft = Some(SoftConstraint {
+            min_spacing_m: 6.0,
+            weight: 10.0,
+        });
+        let obj = LssObjective::with_backend(&set, soft, SolverBackend::Sparse);
+        // An overflowed descent probe must not panic; the optimizer
+        // rejects it by value.
+        let x = [f64::INFINITY, 5.0, 3.0, f64::NEG_INFINITY, 0.0, 0.0];
+        let v = obj.value(&x);
+        assert!(v.is_nan() || v.is_infinite() || v.is_finite());
     }
 
     #[test]

@@ -21,6 +21,7 @@ use rl_geom::Point2;
 use rl_math::gradient::{minimize, DescentConfig, DescentTrace};
 use rl_ranging::measurement::MeasurementSet;
 
+use crate::problem::SolverBackend;
 use crate::types::PositionMap;
 use crate::{LocalizationError, Result};
 
@@ -77,6 +78,13 @@ pub struct LssConfig {
     /// keep LSS on equal (anchor-less) footing. Ignored by the inherent
     /// [`LssSolver::solve`]/[`LssSolver::solve_anchored`] methods.
     pub use_anchors: bool,
+    /// Which linear-algebra backend the solve runs on: the soft
+    /// constraint's complement sum (dense materialized pair list versus
+    /// the spatial-grid active set) and the MDS-MAP initializer's
+    /// completion/eigen stage. The two backends produce bit-identical
+    /// descent trajectories for the constraint (see
+    /// [`LssObjective`]); `Auto` switches on the node count.
+    pub backend: SolverBackend,
 }
 
 impl Default for LssConfig {
@@ -101,6 +109,7 @@ impl Default for LssConfig {
             init: InitStrategy::Random,
             anchor_weight: 100.0,
             use_anchors: true,
+            backend: SolverBackend::Auto,
         }
     }
 }
@@ -172,6 +181,45 @@ impl LssConfig {
         self.use_anchors = false;
         self
     }
+
+    /// Replaces the linear-algebra backend (builder style). The default
+    /// [`SolverBackend::Auto`] picks dense at paper scale and sparse at
+    /// metro scale.
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// A configuration tuned for metro-scale deployments (hundreds to
+    /// thousands of nodes): the paper's soft constraint, anchor-free
+    /// operation, the MDS-MAP initializer (whose sparse path makes it
+    /// cheap at this size), and a short restart schedule — a good seed
+    /// makes long perturbation searches unnecessary, and each descent
+    /// round already costs `O(edges)` per iteration on the sparse
+    /// backend.
+    pub fn metro() -> Self {
+        LssConfig {
+            soft_constraint: Some(SoftConstraint {
+                min_spacing_m: 9.14,
+                weight: 10.0,
+            }),
+            descent: DescentConfig {
+                step_size: 0.005,
+                max_iterations: 1_500,
+                tolerance: 1e-9,
+                patience: 40,
+                restarts: 2,
+                perturbation: 4.0,
+                record_trace: false,
+            },
+            target_stress_per_pair: 1.0,
+            robust: None,
+            init: InitStrategy::MdsMap,
+            anchor_weight: 100.0,
+            use_anchors: false,
+            backend: SolverBackend::Auto,
+        }
+    }
 }
 
 /// The result of an LSS run.
@@ -180,6 +228,7 @@ pub struct LssSolution {
     coordinates: Vec<Point2>,
     stress: f64,
     iterations: usize,
+    converged: bool,
     trace: Option<DescentTrace>,
 }
 
@@ -204,6 +253,14 @@ impl LssSolution {
     /// Total accepted descent iterations.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Whether the restart loop reached its stress target
+    /// (`target_stress_per_pair × measured pairs`) rather than exhausting
+    /// every round. A `false` solution is the best configuration found,
+    /// typically still folded.
+    pub fn converged(&self) -> bool {
+        self.converged
     }
 
     /// Error-versus-epoch trace, when recording was enabled.
@@ -288,7 +345,8 @@ impl LssSolver {
                 "no measured pairs",
             ));
         }
-        let objective = LssObjective::new(set, self.config.soft_constraint);
+        let objective =
+            LssObjective::with_backend(set, self.config.soft_constraint, self.config.backend);
         let x0 = self.initial_configuration(set, rng)?;
 
         // Restart management lives here (not in the generic optimizer) so
@@ -349,6 +407,7 @@ impl LssSolver {
             coordinates: unflatten(&best_x, n),
             stress: best_stress,
             iterations,
+            converged: best_stress <= target,
             trace,
         })
     }
@@ -393,7 +452,11 @@ impl LssSolver {
             .collect();
 
         let objective = AnchoredObjective {
-            inner: LssObjective::new(set, self.config.soft_constraint),
+            inner: LssObjective::with_backend(
+                set,
+                self.config.soft_constraint,
+                self.config.backend,
+            ),
             anchors: anchors.iter().map(|a| (a.id.index(), a.position)).collect(),
             weight: self.config.anchor_weight,
             n: set.node_count(),
@@ -409,6 +472,7 @@ impl LssSolver {
             coordinates: unflatten(&outcome.x, set.node_count()),
             stress: outcome.value,
             iterations: relative.iterations + outcome.iterations,
+            converged: relative.converged,
             trace: relative.trace,
         })
     }
@@ -433,14 +497,16 @@ impl LssSolver {
                 }
                 Ok(random_square(n, *side, rng))
             }
-            InitStrategy::MdsMap => match crate::mds::mdsmap_coordinates(set) {
-                Ok(coords) => Ok(flatten(&coords)),
-                Err(_) => {
-                    let mean_d = set.iter().map(|(_, _, d)| d).sum::<f64>() / set.len() as f64;
-                    let side = (mean_d * (n as f64).sqrt() * 0.7).max(1.0);
-                    Ok(random_square(n, side, rng))
+            InitStrategy::MdsMap => {
+                match crate::mds::mdsmap_coordinates_with(set, self.config.backend) {
+                    Ok(coords) => Ok(flatten(&coords)),
+                    Err(_) => {
+                        let mean_d = set.iter().map(|(_, _, d)| d).sum::<f64>() / set.len() as f64;
+                        let side = (mean_d * (n as f64).sqrt() * 0.7).max(1.0);
+                        Ok(random_square(n, side, rng))
+                    }
                 }
-            },
+            }
             InitStrategy::Given(coords) => {
                 if coords.len() != n {
                     return Err(LocalizationError::InvalidConfig(
@@ -493,6 +559,7 @@ impl crate::problem::Localizer for LssSolver {
             SolveStats {
                 iterations: solution.iterations(),
                 residual: Some(solution.stress()),
+                converged: Some(solution.converged()),
                 wall_time: start.elapsed(),
             },
         ))

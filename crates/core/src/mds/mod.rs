@@ -8,9 +8,11 @@
 //! initializer for the LSS descent.
 
 use rl_geom::Point2;
+use rl_math::sparse::{dijkstra, eigen as sparse_eigen, CsrMatrix, LinearOperator};
 use rl_math::{DMatrix, SymmetricEigen};
 use rl_ranging::measurement::MeasurementSet;
 
+use crate::problem::SolverBackend;
 use crate::{LocalizationError, Result};
 
 /// Classical (Torgerson) MDS: recovers a 2-D configuration from a complete
@@ -82,7 +84,9 @@ pub fn classical_mds(distances: &DMatrix) -> Result<Vec<Point2>> {
 
 /// MDS-MAP-style coordinates for a *sparse* measurement set: missing
 /// pairwise distances are completed with shortest-path distances through
-/// the measurement graph, then classical MDS is applied.
+/// the measurement graph, then classical MDS is applied. Backend
+/// selection is automatic ([`SolverBackend::Auto`]); see
+/// [`mdsmap_coordinates_with`].
 ///
 /// # Errors
 ///
@@ -90,11 +94,49 @@ pub fn classical_mds(distances: &DMatrix) -> Result<Vec<Point2>> {
 ///   graph is disconnected (shortest paths undefined) or has fewer than
 ///   three nodes.
 pub fn mdsmap_coordinates(set: &MeasurementSet) -> Result<Vec<Point2>> {
+    mdsmap_coordinates_with(set, SolverBackend::Auto)
+}
+
+/// [`mdsmap_coordinates`] on an explicit linear-algebra backend.
+///
+/// The two backends share the algorithm but not the machinery:
+///
+/// * **Dense** completes the distance matrix through
+///   [`rl_net::Topology::shortest_paths`] and eigendecomposes the
+///   double-centered matrix with the full `O(n^3)` Jacobi solver.
+/// * **Sparse** runs per-source Dijkstra over a CSR adjacency matrix of
+///   the measurement graph and extracts only the top-2 eigenpairs by
+///   shifted subspace iteration — the double-centered matrix is applied
+///   implicitly (`B x = -1/2 J D² J x`) and never materialized, leaving
+///   the `n x n` squared-distance table as the only quadratic cost.
+///
+/// Both produce the same embedding up to the iterative eigensolver's
+/// tolerance (and the usual sign/rotation ambiguity of the degenerate
+/// case); `tests/sparse_parity.rs` asserts parity on a town-scale
+/// scenario.
+///
+/// # Errors
+///
+/// Same as [`mdsmap_coordinates`], plus eigensolver convergence failures
+/// surfaced as [`LocalizationError::Numerical`].
+pub fn mdsmap_coordinates_with(
+    set: &MeasurementSet,
+    backend: SolverBackend,
+) -> Result<Vec<Point2>> {
+    mdsmap_impl(set, backend).map(|(coords, _)| coords)
+}
+
+/// Shared implementation returning `(coordinates, eigen iterations)`
+/// (0 for the closed-form dense path).
+fn mdsmap_impl(set: &MeasurementSet, backend: SolverBackend) -> Result<(Vec<Point2>, usize)> {
     let n = set.node_count();
     if n < 3 {
         return Err(LocalizationError::InsufficientMeasurements(
             "MDS-MAP needs at least three nodes",
         ));
+    }
+    if backend.use_sparse(n) {
+        return mdsmap_sparse(set);
     }
     let topology = set.topology();
     let sp =
@@ -112,19 +154,143 @@ pub fn mdsmap_coordinates(set: &MeasurementSet) -> Result<Vec<Point2>> {
             }
         }
     }
-    classical_mds(&d)
+    classical_mds(&d).map(|coords| (coords, 0))
+}
+
+/// The sparse MDS-MAP path: CSR Dijkstra completion plus an implicit
+/// double-centering operator fed to the iterative top-2 eigensolver.
+fn mdsmap_sparse(set: &MeasurementSet) -> Result<(Vec<Point2>, usize)> {
+    let n = set.node_count();
+    let edges: Vec<(usize, usize, f64)> = set
+        .iter()
+        .map(|(a, b, d)| (a.index(), b.index(), d))
+        .collect();
+    let adjacency =
+        CsrMatrix::symmetric_from_edges(n, &edges).map_err(LocalizationError::Numerical)?;
+
+    // Per-source Dijkstra over the CSR structure; the completed distance
+    // table is the one intrinsically quadratic artifact of MDS-MAP.
+    let mut completed = vec![0.0; n * n];
+    for src in 0..n {
+        let dist = dijkstra(&adjacency, src);
+        for (j, dj) in dist.iter().enumerate() {
+            if !dj.is_finite() {
+                return Err(LocalizationError::InsufficientMeasurements(
+                    "measurement graph is disconnected",
+                ));
+            }
+            completed[src * n + j] = *dj;
+        }
+    }
+
+    // Squared, symmetrized distances (mirroring the dense path's
+    // tolerance for small asymmetries from summation order).
+    let mut d2 = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let d = 0.5 * (completed[i * n + j] + completed[j * n + i]);
+            d2[i * n + j] = d * d;
+        }
+    }
+    let operator = CenteredOperator::new(n, d2);
+    let k = 2.min(n);
+    let top = sparse_eigen::topk_symmetric(&operator, k, &sparse_eigen::TopKConfig::default())
+        .map_err(LocalizationError::Numerical)?;
+    let coords = top.principal_coordinates();
+    let points = (0..n)
+        .map(|i| {
+            Point2::new(
+                coords[(i, 0)],
+                if coords.cols() > 1 {
+                    coords[(i, 1)]
+                } else {
+                    0.0
+                },
+            )
+        })
+        .collect();
+    Ok((points, top.iterations))
+}
+
+/// The classical-MDS Gram operator `B = -1/2 J D² J` (with
+/// `J = I - 11ᵀ/n`) applied without materializing `B`:
+///
+/// ```text
+/// (B x)_i = -1/2 [ (D² x)_i  -  r_i Σx  -  Σ_j r_j x_j  +  t Σx ]
+/// ```
+///
+/// where `r` holds the row means of `D²` and `t` its grand mean. One
+/// application costs a single dense `D² x` product plus `O(n)` work.
+struct CenteredOperator {
+    n: usize,
+    /// Row-major squared symmetrized distances.
+    d2: Vec<f64>,
+    /// Row means of `d2`.
+    row_mean: Vec<f64>,
+    /// Grand mean of `d2`.
+    total_mean: f64,
+}
+
+impl CenteredOperator {
+    fn new(n: usize, d2: Vec<f64>) -> Self {
+        debug_assert_eq!(d2.len(), n * n);
+        let mut row_mean = vec![0.0; n];
+        let mut total = 0.0;
+        for i in 0..n {
+            let sum: f64 = d2[i * n..(i + 1) * n].iter().sum();
+            row_mean[i] = sum / n as f64;
+            total += sum;
+        }
+        CenteredOperator {
+            n,
+            d2,
+            row_mean,
+            total_mean: total / (n * n) as f64,
+        }
+    }
+}
+
+impl LinearOperator for CenteredOperator {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.n;
+        let sum_x: f64 = x.iter().sum();
+        let mean_dot: f64 = self.row_mean.iter().zip(x).map(|(r, xi)| r * xi).sum();
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.d2[i * n..(i + 1) * n];
+            let d2x: f64 = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = -0.5 * (d2x - self.row_mean[i] * sum_x - mean_dot + self.total_mean * sum_x);
+        }
+    }
 }
 
 /// MDS-MAP as a [`Localizer`](crate::problem::Localizer): shortest-path
-/// completion plus classical MDS, producing a relative-frame solution in
-/// closed form (no iteration, no randomness).
+/// completion plus classical MDS, producing a relative-frame solution
+/// with no per-run randomness. The heavy stages run on the configured
+/// [`SolverBackend`] (`Auto` by default: dense Jacobi at paper scale,
+/// CSR Dijkstra + iterative top-2 eigensolver at metro scale).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct MdsMapLocalizer;
+pub struct MdsMapLocalizer {
+    backend: SolverBackend,
+}
 
 impl MdsMapLocalizer {
-    /// Creates the localizer.
+    /// Creates the localizer with automatic backend selection.
     pub fn new() -> Self {
-        MdsMapLocalizer
+        MdsMapLocalizer::default()
+    }
+
+    /// Creates the localizer on an explicit backend.
+    pub fn with_backend(backend: SolverBackend) -> Self {
+        MdsMapLocalizer { backend }
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
     }
 }
 
@@ -140,13 +306,17 @@ impl crate::problem::Localizer for MdsMapLocalizer {
     ) -> Result<crate::problem::Solution> {
         use crate::problem::{Frame, Solution, SolveStats};
         let start = std::time::Instant::now();
-        let coords = mdsmap_coordinates(problem.measurements())?;
+        let (coords, eigen_iterations) = mdsmap_impl(problem.measurements(), self.backend)?;
         Ok(Solution::new(
             crate::types::PositionMap::complete(coords),
             Frame::Relative,
             SolveStats {
-                iterations: 0,
+                iterations: eigen_iterations,
                 residual: None,
+                // The dense path is closed-form; the sparse path's
+                // eigensolver errors out instead of returning an
+                // unconverged embedding. Reaching here means converged.
+                converged: Some(true),
                 wall_time: start.elapsed(),
             },
         ))

@@ -326,6 +326,10 @@ impl MultilaterationSolver {
             SolveStats {
                 iterations: out.rounds,
                 residual: None,
+                // A multilateration pass either localizes a node or
+                // leaves it unlocalized; there is no global convergence
+                // criterion to report.
+                converged: None,
                 wall_time: start.elapsed(),
             },
         ))

@@ -58,6 +58,48 @@ use crate::eval::{evaluate_absolute, evaluate_against_truth, Evaluation};
 use crate::types::{Anchor, PositionMap};
 use crate::{LocalizationError, Result};
 
+/// Which linear-algebra backend a solver runs its heavy stages on.
+///
+/// The dense paths ([`DMatrix`](rl_math::DMatrix) products, full Jacobi
+/// eigendecompositions, materialized `O(n^2)` pair lists) are exact and
+/// simple but scale as `O(n^2)`–`O(n^3)`; the sparse paths
+/// ([`rl_math::sparse`]: CSR mat-vec, iterative top-`k` eigensolver,
+/// spatial-grid active sets) exploit the connectivity graph's sparsity
+/// under the 22 m ranging cutoff and stay tractable at metro scale.
+/// Solvers honoring this enum ([`LssConfig`](crate::lss::LssConfig),
+/// [`MdsMapLocalizer`](crate::mds::MdsMapLocalizer)) default to
+/// [`SolverBackend::Auto`], which switches on the problem's node count at
+/// [`SolverBackend::AUTO_THRESHOLD`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverBackend {
+    /// Pick per problem: dense below [`SolverBackend::AUTO_THRESHOLD`]
+    /// nodes, sparse at or above it.
+    #[default]
+    Auto,
+    /// Force the dense path regardless of size (the small-`n` reference
+    /// implementation and parity oracle).
+    Dense,
+    /// Force the sparse path regardless of size.
+    Sparse,
+}
+
+impl SolverBackend {
+    /// Node count at which [`SolverBackend::Auto`] switches to the sparse
+    /// path. Below it the dense `O(n^3)` work is cheaper than the sparse
+    /// machinery's constant factors; the paper-scale scenarios (town: 59
+    /// nodes) stay dense, the metro ladder (250+) goes sparse.
+    pub const AUTO_THRESHOLD: usize = 100;
+
+    /// Whether the sparse path should run for an `n`-node problem.
+    pub fn use_sparse(self, n: usize) -> bool {
+        match self {
+            SolverBackend::Auto => n >= Self::AUTO_THRESHOLD,
+            SolverBackend::Dense => false,
+            SolverBackend::Sparse => true,
+        }
+    }
+}
+
 /// The coordinate frame a solution's positions are expressed in. Decides
 /// how [`Problem::evaluate`] compares them with ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,6 +290,12 @@ pub struct SolveStats {
     /// refinement stress); `None` for algorithms without a scalar
     /// residual.
     pub residual: Option<f64>,
+    /// Whether the solver's iteration reached its convergence criterion:
+    /// the stress target for the least-squares solvers, the eigensolver
+    /// residual bound for sparse MDS-MAP. `None` for algorithms with no
+    /// convergence notion (closed-form baselines, protocol-driven
+    /// solvers). Campaign summary tables aggregate this per cell.
+    pub converged: Option<bool>,
     /// Wall-clock time the solve took.
     pub wall_time: Duration,
 }

@@ -16,7 +16,12 @@
 //!   normal distribution),
 //! * [`gradient`] — a generic gradient-descent driver with perturbation
 //!   restarts and trace recording, the optimizer behind least-squares
-//!   scaling (LSS) and multilateration.
+//!   scaling (LSS) and multilateration,
+//! * [`sparse`] — the large-`n` backend: CSR matrices ([`CsrMatrix`]),
+//!   the matrix-free [`LinearOperator`] abstraction, a conjugate-gradient
+//!   solver, a shifted subspace-iteration top-`k` symmetric eigensolver,
+//!   and CSR Dijkstra — everything the metro-scale solver paths need
+//!   without `O(n^2)` storage or `O(n^3)` factorizations.
 //!
 //! # Example
 //!
@@ -35,12 +40,14 @@ pub mod eigen;
 pub mod gradient;
 pub mod matrix;
 pub mod rng;
+pub mod sparse;
 pub mod stats;
 
 pub use eigen::SymmetricEigen;
 pub use gradient::{DescentConfig, DescentOutcome, DescentTrace, Objective};
 pub use matrix::DMatrix;
 pub use rng::GaussianSampler;
+pub use sparse::{CsrMatrix, LinearOperator};
 
 /// Error type for numerical routines in this crate.
 #[derive(Debug, Clone, PartialEq)]

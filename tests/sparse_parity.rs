@@ -1,0 +1,180 @@
+//! Dense ↔ sparse backend parity, end to end.
+//!
+//! The sparse backend (`rl_math::sparse` + the solver paths built on it)
+//! exists to make metro-scale problems tractable, **not** to change any
+//! answer. These tests pin that contract at the integration level:
+//!
+//! * the CSR Dijkstra completion reproduces the dense
+//!   `Topology::shortest_paths` completion on real measurement graphs,
+//! * sparse-path MDS-MAP embeds a town-scale scenario into the same
+//!   geometry as the dense Jacobi path (compared via pairwise distances,
+//!   which are invariant to the eigenvector sign/rotation ambiguity),
+//! * sparse-path LSS reproduces the dense path **bit for bit** on a
+//!   fixed-seed town-scale solve — the spatial-grid constraint evaluates
+//!   the identical objective, so the whole descent trajectory matches,
+//! * the LSS objective backends agree on value and gradient for
+//!   arbitrary random configurations (property test).
+
+use proptest::prelude::*;
+use resilient_localization::prelude::*;
+use rl_core::lss::{LssConfig, LssObjective, LssSolver, SoftConstraint};
+use rl_core::mds::mdsmap_coordinates_with;
+use rl_core::SolverBackend;
+use rl_math::gradient::Objective;
+use rl_math::sparse::{dijkstra, CsrMatrix};
+use rl_net::NodeId as NetNodeId;
+
+/// The town-scale measurement graph every end-to-end test runs on: the
+/// paper's 59-node town under its synthetic 22 m / N(0, 0.33 m) model.
+fn town_measurements() -> (Vec<Point2>, MeasurementSet) {
+    let scenario = rl_deploy::Scenario::town(7);
+    let problem = scenario.instantiate(7);
+    (
+        problem.truth().expect("scenario carries truth").to_vec(),
+        problem.measurements().clone(),
+    )
+}
+
+#[test]
+fn csr_dijkstra_matches_dense_shortest_paths_on_town_graph() {
+    let (_, set) = town_measurements();
+    let n = set.node_count();
+    let edges: Vec<(usize, usize, f64)> = set
+        .iter()
+        .map(|(a, b, d)| (a.index(), b.index(), d))
+        .collect();
+    let adjacency = CsrMatrix::symmetric_from_edges(n, &edges).unwrap();
+
+    let topology = set.topology();
+    let dense = topology.shortest_paths(|a, b| set.get(a, b).expect("edge exists"));
+
+    for (src, dense_row) in dense.iter().enumerate() {
+        let sparse = dijkstra(&adjacency, src);
+        for (j, entry) in dense_row.iter().enumerate() {
+            match entry {
+                Some(d) => assert!(
+                    (sparse[j] - d).abs() < 1e-9 * (1.0 + d),
+                    "distance {src}->{j}: sparse {} vs dense {d}",
+                    sparse[j]
+                ),
+                None => assert!(sparse[j].is_infinite()),
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_mdsmap_embeds_the_town_like_the_dense_path() {
+    let (truth, set) = town_measurements();
+    let dense = mdsmap_coordinates_with(&set, SolverBackend::Dense).unwrap();
+    let sparse = mdsmap_coordinates_with(&set, SolverBackend::Sparse).unwrap();
+    assert_eq!(dense.len(), sparse.len());
+
+    // Pairwise distances are invariant to the eigenvector sign /
+    // degenerate-rotation ambiguity between the two eigensolvers.
+    let scale: f64 = dense
+        .iter()
+        .flat_map(|a| dense.iter().map(move |b| a.distance(*b)))
+        .fold(1.0, f64::max);
+    for i in 0..dense.len() {
+        for j in (i + 1)..dense.len() {
+            let dd = dense[i].distance(dense[j]);
+            let ds = sparse[i].distance(sparse[j]);
+            assert!(
+                (dd - ds).abs() < 1e-5 * scale,
+                "pair {i}-{j}: dense {dd} vs sparse {ds}"
+            );
+        }
+    }
+
+    // Both embeddings evaluate identically against ground truth.
+    let dense_eval = evaluate_against_truth(&PositionMap::complete(dense), &truth).unwrap();
+    let sparse_eval = evaluate_against_truth(&PositionMap::complete(sparse), &truth).unwrap();
+    assert!(
+        (dense_eval.mean_error - sparse_eval.mean_error).abs() < 1e-4,
+        "dense {} vs sparse {}",
+        dense_eval.mean_error,
+        sparse_eval.mean_error
+    );
+}
+
+#[test]
+fn sparse_lss_reproduces_the_dense_solve_bit_for_bit() {
+    let (_, set) = town_measurements();
+    // A short fixed-seed solve is enough: bitwise equality of the whole
+    // trajectory either holds from the first accepted step or not at all.
+    let config = |backend| {
+        LssConfig::default()
+            .with_min_spacing(9.14, 10.0)
+            .with_backend(backend)
+            .with_descent(rl_math::DescentConfig {
+                max_iterations: 600,
+                restarts: 4,
+                ..LssConfig::default().descent
+            })
+    };
+    let solve = |backend| {
+        let mut rng = rl_math::rng::seeded(99);
+        LssSolver::new(config(backend))
+            .solve(&set, &mut rng)
+            .expect("town graph is solvable")
+    };
+    let dense = solve(SolverBackend::Dense);
+    let sparse = solve(SolverBackend::Sparse);
+
+    assert_eq!(dense.stress().to_bits(), sparse.stress().to_bits());
+    assert_eq!(dense.iterations(), sparse.iterations());
+    assert_eq!(dense.converged(), sparse.converged());
+    for (a, b) in dense.coordinates().iter().zip(sparse.coordinates()) {
+        assert_eq!(a.x.to_bits(), b.x.to_bits(), "x coordinates diverged");
+        assert_eq!(a.y.to_bits(), b.y.to_bits(), "y coordinates diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two constraint backends evaluate the identical objective for
+    /// arbitrary sparse graphs and arbitrary (even far-from-plausible)
+    /// configurations: same value bits, same gradient bits, same active
+    /// constraint count.
+    #[test]
+    fn lss_objective_backends_agree_bitwise(
+        pts in proptest::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 4..10),
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 2..18),
+        x0 in proptest::collection::vec(-50.0f64..50.0, 20),
+        d_min in 3.0f64..12.0,
+    ) {
+        let n = pts.len();
+        let mut set = MeasurementSet::new(n);
+        for &(a, b) in &edges {
+            if a == b || a >= n || b >= n {
+                continue;
+            }
+            let pa = Point2::new(pts[a].0, pts[a].1);
+            let pb = Point2::new(pts[b].0, pts[b].1);
+            let d = pa.distance(pb);
+            if d > 1e-6 {
+                set.insert(NetNodeId(a), NetNodeId(b), d);
+            }
+        }
+        let soft = Some(SoftConstraint {
+            min_spacing_m: d_min,
+            weight: 10.0,
+        });
+        let dense = LssObjective::with_backend(&set, soft, SolverBackend::Dense);
+        let sparse = LssObjective::with_backend(&set, soft, SolverBackend::Sparse);
+        let x: Vec<f64> = x0.iter().take(2 * n).copied().collect();
+        prop_assume!(x.len() == 2 * n);
+
+        prop_assert_eq!(dense.value(&x).to_bits(), sparse.value(&x).to_bits());
+        let mut gd = vec![0.0; 2 * n];
+        let mut gs = vec![0.0; 2 * n];
+        dense.gradient(&x, &mut gd);
+        sparse.gradient(&x, &mut gs);
+        for (a, b) in gd.iter().zip(&gs) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(dense.active_constraints(&x), sparse.active_constraints(&x));
+    }
+}
