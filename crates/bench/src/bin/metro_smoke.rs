@@ -1,43 +1,121 @@
-//! Release-mode smoke test for the six-family metro panel; run by CI.
+//! Release-mode smoke test and perf gate for the metro panel; run by CI.
 //!
 //! ```text
 //! cargo run --release -p rl-bench --bin metro_smoke
 //! ```
 //!
 //! Runs **every** solver family — centralized LSS (sparse constraint
-//! backend), progressive multilateration, distributed LSS, MDS-MAP
-//! (sparse eigensolver path), DV-hop, centroid — on a metro-250 scenario
-//! under a hard wall-time budget. Exits non-zero if any cell fails or
-//! the budget is exceeded, so "all solvers run at metro scale" is a
-//! property CI enforces, not a claim. (The budget is generous: it exists
-//! to catch accidental reintroduction of an O(n²)–O(n³) dense stage,
-//! which blows the runtime up by orders of magnitude, not to benchmark.)
+//! backend), progressive multilateration, distributed LSS (pooled local
+//! solves + Gauss–Newton/CG refinement), MDS-MAP (sparse eigensolver
+//! path), DV-hop, centroid — on the metro-250 *and* metro-1000 rungs,
+//! then enforces three budgets:
+//!
+//! 1. the whole grid finishes inside [`WALL_BUDGET`] (a dense `O(n²)`–
+//!    `O(n³)` regression costs minutes, not seconds),
+//! 2. distributed LSS at metro-1000 keeps its mean error at or below
+//!    [`DIST_ERROR_BUDGET_M`] — the stitching-drift regression gate, and
+//! 3. distributed LSS at metro-1000 finishes within
+//!    [`DIST_WALL_FACTOR`] × the centralized sparse-LSS cell — the
+//!    local-solve-cost regression gate.
+//!
+//! Every cell's wall time and mean error is also written to
+//! `BENCH_metro.json` (machine-readable, uploaded as a CI artifact), so
+//! the per-family perf trajectory is recorded on every run rather than
+//! observed once in a PR description.
 
 use std::time::{Duration, Instant};
 
-use rl_bench::campaign::Campaign;
+use rl_bench::campaign::{Campaign, CampaignConfig, CampaignReport};
 use rl_bench::experiments::metro::metro_localizers;
 use rl_bench::MASTER_SEED;
 use rl_deploy::Scenario;
+use serde::Serialize;
 
-/// Hard end-to-end budget for the six-cell metro-250 panel. The sparse
+/// Hard end-to-end budget for the twelve-cell metro panel. The sparse
 /// paths finish the grid in seconds; a dense regression at this size
 /// costs minutes.
 const WALL_BUDGET: Duration = Duration::from_secs(300);
 
+/// Mean-error ceiling for distributed LSS on the metro-1000 rung. The
+/// refined pipeline lands ~0.13 m (the same regime as centralized sparse
+/// LSS); before the refinement stage it degraded to ~15 m, so this gate
+/// fails loudly if the stitching fix regresses.
+const DIST_ERROR_BUDGET_M: f64 = 2.0;
+
+/// Distributed LSS at metro-1000 must finish within this factor of the
+/// centralized sparse-LSS cell on the same rung.
+const DIST_WALL_FACTOR: f64 = 3.0;
+
+/// The metro-1000 scenario name the budgets key on.
+const METRO_1000: &str = "metro-1000-100anchors";
+
+/// One `BENCH_metro.json` row: a (scenario, localizer) cell's wall time
+/// and quality.
+#[derive(Debug, Serialize)]
+struct CellRecord {
+    scenario: String,
+    localizer: String,
+    wall_ms: f64,
+    mean_error_m: Option<f64>,
+    localized: Option<usize>,
+    nodes: Option<usize>,
+    ok: bool,
+}
+
+/// The `BENCH_metro.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    seed: u64,
+    workers: usize,
+    total_wall_ms: f64,
+    wall_budget_ms: f64,
+    dist_error_budget_m: f64,
+    dist_wall_factor: f64,
+    cells: Vec<CellRecord>,
+}
+
+fn cell_records(report: &CampaignReport) -> Vec<CellRecord> {
+    report
+        .runs
+        .iter()
+        .map(|run| {
+            let eval = run
+                .outcome
+                .as_ref()
+                .ok()
+                .and_then(|o| o.evaluation.as_ref());
+            CellRecord {
+                scenario: run.scenario.clone(),
+                localizer: run.localizer.clone(),
+                wall_ms: run.wall_time.as_secs_f64() * 1e3,
+                mean_error_m: eval.map(|e| e.mean_error),
+                localized: eval.map(|e| e.localized),
+                nodes: eval.map(|e| e.total),
+                ok: run.outcome.is_ok(),
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let campaign = Campaign::new()
         .scenario(Scenario::metro_sized(250, 0.10, MASTER_SEED))
+        .scenario(Scenario::metro_sized(1000, 0.10, MASTER_SEED))
         .localizers(metro_localizers())
         .seeds(&[MASTER_SEED]);
 
+    // Serial campaign schedule: the wall gate below compares two cells'
+    // wall times, so cells must not contend with each other for cores.
+    // Distributed LSS still shards its local-solve phase on its own
+    // machine-sized rl_net::pool *inside* its cell — exactly the
+    // configuration the 3x budget describes.
     let started = Instant::now();
-    let report = campaign.run();
+    let report = campaign.run_with(CampaignConfig::serial());
     let elapsed = started.elapsed();
 
     println!("{}", report.summary_table());
     println!(
-        "six-family metro-250 panel: {} cells in {:.1?} (budget {:.0?})",
+        "six-family metro-250 + metro-1000 panel: {} cells in {:.1?} (budget {:.0?})",
         report.runs.len(),
         elapsed,
         WALL_BUDGET,
@@ -57,8 +135,84 @@ fn main() {
         );
         failed = true;
     }
+
+    // Perf gates for the headline pipeline: distributed LSS at the
+    // metro-1000 rung must stay in the centralized error regime and
+    // within a small factor of the centralized sparse-LSS wall time.
+    match report.mean_error(METRO_1000, "distributed-lss") {
+        Some(err) if err <= DIST_ERROR_BUDGET_M => {
+            println!("distributed-lss {METRO_1000} mean error {err:.3} m (budget {DIST_ERROR_BUDGET_M} m)");
+        }
+        Some(err) => {
+            eprintln!(
+                "DISTRIBUTED ERROR BUDGET EXCEEDED: {err:.3} m > {DIST_ERROR_BUDGET_M} m at \
+                 {METRO_1000} — stitching drift is back; check the refinement stage"
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!("DISTRIBUTED ERROR MISSING: no evaluation for {METRO_1000}");
+            failed = true;
+        }
+    }
+    let wall_of = |localizer: &str| {
+        report
+            .wall_stats(METRO_1000, localizer)
+            .map(|(mean, _)| mean)
+    };
+    match (
+        wall_of("distributed-lss"),
+        wall_of("lss-anchor-free+constraint"),
+    ) {
+        (Some(dist), Some(lss)) => {
+            let ratio = dist.as_secs_f64() / lss.as_secs_f64().max(1e-9);
+            if ratio <= DIST_WALL_FACTOR {
+                println!(
+                    "distributed-lss {METRO_1000} wall {:.0} ms = {ratio:.2}x sparse LSS \
+                     (budget {DIST_WALL_FACTOR}x)",
+                    dist.as_secs_f64() * 1e3
+                );
+            } else {
+                eprintln!(
+                    "DISTRIBUTED WALL BUDGET EXCEEDED: {:.0} ms is {ratio:.2}x the sparse-LSS \
+                     cell ({:.0} ms), budget {DIST_WALL_FACTOR}x — the local-solve phase has \
+                     regressed",
+                    dist.as_secs_f64() * 1e3,
+                    lss.as_secs_f64() * 1e3
+                );
+                failed = true;
+            }
+        }
+        _ => {
+            eprintln!("DISTRIBUTED WALL MISSING: no wall stats for {METRO_1000}");
+            failed = true;
+        }
+    }
+
+    // Machine-readable trajectory record, uploaded as a CI artifact.
+    let bench = BenchReport {
+        seed: MASTER_SEED,
+        workers: report.workers,
+        total_wall_ms: elapsed.as_secs_f64() * 1e3,
+        wall_budget_ms: WALL_BUDGET.as_secs_f64() * 1e3,
+        dist_error_budget_m: DIST_ERROR_BUDGET_M,
+        dist_wall_factor: DIST_WALL_FACTOR,
+        cells: cell_records(&report),
+    };
+    let json = serde_json::to_string(&bench).expect("report serializes");
+    match std::fs::write("BENCH_metro.json", &json) {
+        Ok(()) => println!("wrote BENCH_metro.json ({} bytes)", json.len()),
+        Err(e) => {
+            eprintln!("FAILED to write BENCH_metro.json: {e}");
+            failed = true;
+        }
+    }
+
     if failed {
         std::process::exit(1);
     }
-    println!("all six solver families run at metro scale; sparse backend OK");
+    println!(
+        "all six solver families run at metro scale; distributed LSS within budget; sparse \
+         backend OK"
+    );
 }

@@ -36,9 +36,13 @@ const RANGE_M: f64 = 22.0;
 /// * centralized LSS runs [`LssConfig::metro`] (anchor-free + soft
 ///   constraint, MDS-MAP seeding, short restart schedule) on the sparse
 ///   constraint backend,
+/// * distributed LSS runs [`DistributedConfig::metro`]: MDS-seeded local
+///   solves sharded on the `rl_net::pool` worker pool, plus the
+///   Gauss–Newton/CG refinement that collapses cross-district stitching
+///   drift,
 /// * MDS-MAP auto-selects the sparse path (CSR Dijkstra completion +
 ///   iterative top-2 eigensolver) above the backend threshold,
-/// * the remaining four families were already metro-tractable and run
+/// * the remaining three families were already metro-tractable and run
 ///   their standard configurations.
 pub fn metro_localizers() -> Vec<Box<dyn Localizer>> {
     vec![
@@ -46,9 +50,7 @@ pub fn metro_localizers() -> Vec<Box<dyn Localizer>> {
         Box::new(MultilaterationSolver::new(
             MultilaterationConfig::paper().progressive(),
         )),
-        Box::new(DistributedSolver::new(
-            DistributedConfig::default().with_min_spacing(9.14, 10.0),
-        )),
+        Box::new(DistributedSolver::new(DistributedConfig::metro())),
         Box::new(MdsMapLocalizer::new()),
         Box::new(DvHopLocalizer::new(RadioModel::ideal(RANGE_M))),
         Box::new(CentroidLocalizer::new(RANGE_M)),
@@ -121,6 +123,12 @@ pub fn metro_sweep(seed: u64) -> ExperimentResult {
         "all six solver families run at every rung: the sparse backend (CSR shortest paths, \
          iterative top-2 eigensolver, spatial-grid soft constraint) replaces the dense \
          O(n^2)-O(n^3) stages that previously confined LSS and MDS-MAP to town scale",
+    )
+    .with_note(
+        "distributed LSS runs its metro configuration: per-node local solves sharded on the \
+         deterministic rl_net::pool workers, and a Tikhonov-regularized Gauss-Newton/CG \
+         refinement that collapses cross-district stitching drift to the same error regime \
+         as centralized sparse LSS",
     )
     .with_note(
         "the metro generator tiles street-aligned districts behind obstruction belts; \

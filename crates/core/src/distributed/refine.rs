@@ -1,0 +1,460 @@
+//! Tikhonov-regularized Gauss–Newton refinement of a stitched map.
+//!
+//! The alignment flood composes one rigid transform per hop, so every
+//! hop's registration error — fractions of a meter on noisy local maps —
+//! *accumulates* along the flood tree. At town scale (a few hops) the
+//! drift is invisible; across a metro's district after district it grows
+//! into tens of meters of smooth, low-frequency warp even though every
+//! *local* distance is still known to ±0.33 m. The fix mirrors DILAND
+//! (Khan et al.): iterative refinement that pulls the stitched
+//! configuration back onto the measurements, converging toward the
+//! centralized LSS solution.
+//!
+//! Each outer iteration linearizes the stress
+//! `E(p) = Σ w̃_ij (‖p_i − p_j‖ − d_ij)²` around the current
+//! configuration and solves the damped normal equations
+//!
+//! ```text
+//! (JᵀWJ + λI) δ = −JᵀW r
+//! ```
+//!
+//! with [`rl_math::sparse::cg`] — `JᵀWJ` is applied matrix-free from the
+//! edge list (`O(edges)` per CG iteration, nothing materialized). The
+//! Tikhonov term `λI` does double duty: it anchors each step to the
+//! current (flood-aligned) configuration, which both removes the rigid
+//! null space (translations/rotations cost `λ‖δ‖²`, so the solution
+//! stays in the root's frame instead of drifting) and acts as
+//! Levenberg–Marquardt damping, grown on rejected steps and shrunk on
+//! accepted ones. Optional Cauchy reweighting (`w̃ = w / (1 + (r/c)²)`,
+//! recomputed per outer iteration) keeps the handful of badly stitched
+//! nodes a metro flood produces from bending the refit around them.
+//!
+//! The whole stage is deterministic: no randomness, fixed iteration
+//! order (edges in measurement-set order), so it preserves the
+//! bit-identical replay contract of the surrounding protocol.
+
+use rl_geom::Point2;
+use rl_math::sparse::cg::{conjugate_gradient, CgConfig};
+use rl_math::sparse::LinearOperator;
+use rl_net::NodeId;
+use rl_ranging::measurement::MeasurementSet;
+
+use crate::types::PositionMap;
+
+/// Configuration of the post-alignment refinement stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineConfig {
+    /// Maximum Gauss–Newton (outer) iterations.
+    pub max_iterations: usize,
+    /// Initial Tikhonov damping `λ` (per coordinate, against edge weights
+    /// of ~1). Adapted multiplicatively: ×0.3 on accepted steps, ×10 on
+    /// rejected ones.
+    pub tikhonov: f64,
+    /// Cauchy robust-reweighting scale `c` in meters (`None` disables):
+    /// an edge's weight is multiplied by `1 / (1 + (r/c)²)` of its
+    /// current residual `r` each outer iteration.
+    pub robust_scale_m: Option<f64>,
+    /// Inner CG settings. The default loosens the tolerance to `1e-4` —
+    /// each linearization is approximate, so solving it to machine
+    /// precision buys nothing — and caps iterations at 200 (a truncated
+    /// solve still yields a usable damped-Newton direction; the damping
+    /// loop simply stiffens `λ`, which also improves the system's
+    /// conditioning for the retry).
+    pub cg: CgConfig,
+    /// Stop once the relative stress improvement of an accepted step
+    /// falls below this.
+    pub min_relative_improvement: f64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            max_iterations: 12,
+            tikhonov: 1e-2,
+            robust_scale_m: Some(2.0),
+            cg: CgConfig::default()
+                .with_max_iterations(200)
+                .with_tolerance(1e-4),
+            min_relative_improvement: 1e-6,
+        }
+    }
+}
+
+/// What the refinement stage did, reported on
+/// [`DistributedOutcome`](super::DistributedOutcome).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOutcome {
+    /// Aligned nodes the refinement optimized over.
+    pub nodes: usize,
+    /// Measured edges with both endpoints aligned.
+    pub edges: usize,
+    /// Accepted Gauss–Newton steps.
+    pub iterations: usize,
+    /// Total inner CG iterations across all solves.
+    pub cg_iterations: usize,
+    /// Robust stress before the first step.
+    pub initial_stress: f64,
+    /// Robust stress after the last accepted step.
+    pub final_stress: f64,
+    /// Whether the loop stopped at a (numerical) stationary point —
+    /// via the relative-improvement criterion or because no damping
+    /// level could find a descending step — rather than exhausting
+    /// `max_iterations` while still improving.
+    pub converged: bool,
+}
+
+/// One linearization's damped normal operator `JᵀWJ + λI`, applied
+/// matrix-free from the edge list. Layout matches the LSS objective:
+/// `[x_0 … x_{m−1}, y_0 … y_{m−1}]`.
+struct DampedNormalOperator<'a> {
+    m: usize,
+    /// `(i, j, w̃)` per edge, compact indices.
+    edges: &'a [(usize, usize, f64)],
+    /// Unit vector of `p_i − p_j` per edge at the linearization point.
+    units: &'a [(f64, f64)],
+    lambda: f64,
+}
+
+impl LinearOperator for DampedNormalOperator<'_> {
+    fn dim(&self) -> usize {
+        2 * self.m
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let m = self.m;
+        for (out, v) in y.iter_mut().zip(x) {
+            *out = self.lambda * v;
+        }
+        for (&(i, j, w), &(ux, uy)) in self.edges.iter().zip(self.units) {
+            // Row of J for this edge: +u at i, −u at j (per coordinate).
+            let s = w * (ux * (x[i] - x[j]) + uy * (x[m + i] - x[m + j]));
+            y[i] += s * ux;
+            y[j] -= s * ux;
+            y[m + i] += s * uy;
+            y[m + j] -= s * uy;
+        }
+    }
+}
+
+/// Guard against division by a vanishing computed distance.
+const MIN_DISTANCE: f64 = 1e-9;
+
+/// Refines the aligned subset of `positions` in place against the
+/// measured distances; returns `None` (leaving positions untouched) when
+/// fewer than two nodes aligned or no measured edge connects two aligned
+/// nodes.
+pub fn refine_aligned(
+    set: &MeasurementSet,
+    positions: &mut PositionMap,
+    config: &RefineConfig,
+) -> Option<RefineOutcome> {
+    // Compact the aligned nodes: refinement variables are their
+    // coordinates only; unaligned nodes stay untouched.
+    let mut compact_of = vec![usize::MAX; set.node_count()];
+    let mut original: Vec<usize> = Vec::new();
+    let mut x: Vec<f64> = Vec::new();
+    for (i, slot) in compact_of.iter_mut().enumerate() {
+        if let Some(p) = positions.get(NodeId(i)) {
+            *slot = original.len();
+            original.push(i);
+            x.push(p.x);
+        }
+    }
+    let m = original.len();
+    if m < 2 {
+        return None;
+    }
+    x.resize(2 * m, 0.0);
+    for (k, &i) in original.iter().enumerate() {
+        x[m + k] = positions.get(NodeId(i)).expect("aligned").y;
+    }
+
+    // Edges with both endpoints aligned, in measurement-set order
+    // (deterministic: the set iterates its sorted edge map).
+    let edges: Vec<(usize, usize, f64, f64)> = set
+        .iter_weighted()
+        .filter_map(|(a, b, d, w)| {
+            let (ia, ib) = (compact_of[a.index()], compact_of[b.index()]);
+            (ia != usize::MAX && ib != usize::MAX).then_some((ia, ib, d, w))
+        })
+        .collect();
+    if edges.is_empty() {
+        return None;
+    }
+
+    // Robust stress and per-edge IRLS weights at configuration `x`.
+    let linearize = |x: &[f64]| -> Linearization {
+        let mut lin = Linearization {
+            stress: 0.0,
+            w_tilde: Vec::with_capacity(edges.len()),
+            residuals: Vec::with_capacity(edges.len()),
+            units: Vec::with_capacity(edges.len()),
+        };
+        for &(i, j, d, w) in &edges {
+            let dx = x[i] - x[j];
+            let dy = x[m + i] - x[m + j];
+            let dist = (dx * dx + dy * dy).sqrt();
+            let r = dist - d;
+            let wr = match config.robust_scale_m {
+                Some(c) => w / (1.0 + (r / c) * (r / c)),
+                None => w,
+            };
+            lin.stress += wr * r * r;
+            lin.w_tilde.push(wr);
+            lin.residuals.push(r);
+            let safe = dist.max(MIN_DISTANCE);
+            lin.units.push((dx / safe, dy / safe));
+        }
+        lin
+    };
+
+    let mut lambda = config.tikhonov.max(f64::MIN_POSITIVE);
+    let lambda_ceiling = lambda * 1e9;
+    let mut iterations = 0usize;
+    let mut cg_iterations = 0usize;
+    let mut lin = linearize(&x);
+    let initial_stress = lin.stress;
+    let mut converged = false;
+
+    for _ in 0..config.max_iterations {
+        // rhs g = −JᵀW r.
+        let mut g = vec![0.0; 2 * m];
+        for (k, &(i, j, _, _)) in edges.iter().enumerate() {
+            let s = lin.w_tilde[k] * lin.residuals[k];
+            let (ux, uy) = lin.units[k];
+            g[i] -= s * ux;
+            g[j] += s * ux;
+            g[m + i] -= s * uy;
+            g[m + j] += s * uy;
+        }
+        let op_edges: Vec<(usize, usize, f64)> = edges
+            .iter()
+            .zip(&lin.w_tilde)
+            .map(|(&(i, j, _, _), &w)| (i, j, w))
+            .collect();
+
+        // Damping loop: retry the linear solve with stiffer λ until the
+        // step actually reduces the (robust) stress.
+        let mut accepted = false;
+        while lambda <= lambda_ceiling {
+            let op = DampedNormalOperator {
+                m,
+                edges: &op_edges,
+                units: &lin.units,
+                lambda,
+            };
+            let Ok(solve) = conjugate_gradient(&op, &g, &config.cg) else {
+                // CG only fails here by iteration budget on a
+                // near-singular system; stiffer damping fixes that.
+                lambda *= 10.0;
+                continue;
+            };
+            cg_iterations += solve.iterations;
+            let trial: Vec<f64> = x.iter().zip(&solve.x).map(|(xi, di)| xi + di).collect();
+            let trial_lin = linearize(&trial);
+            if trial_lin.stress < lin.stress {
+                let improvement =
+                    (lin.stress - trial_lin.stress) / lin.stress.max(f64::MIN_POSITIVE);
+                x = trial;
+                lin = trial_lin;
+                lambda = (lambda * 0.3).max(config.tikhonov * 1e-3);
+                iterations += 1;
+                accepted = true;
+                if improvement < config.min_relative_improvement {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if !accepted {
+            // The damping ceiling was reached without any descent: the
+            // configuration is at (a numerical) stationary point —
+            // converged, whether or not any earlier step was accepted
+            // (a map that arrives already optimal takes zero steps).
+            converged = true;
+            break;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    for (k, &i) in original.iter().enumerate() {
+        positions.set(NodeId(i), Point2::new(x[k], x[m + k]));
+    }
+    Some(RefineOutcome {
+        nodes: m,
+        edges: edges.len(),
+        iterations,
+        cg_iterations,
+        initial_stress,
+        final_stress: lin.stress,
+        converged,
+    })
+}
+
+/// One linearization of the robust stress at a configuration: the
+/// per-edge IRLS weights, residuals, and unit directions the normal
+/// equations are assembled from.
+struct Linearization {
+    stress: f64,
+    w_tilde: Vec<f64>,
+    residuals: Vec<f64>,
+    units: Vec<(f64, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_geom::{RigidTransform, Vec2};
+
+    fn grid(nx: usize, ny: usize, spacing: f64) -> Vec<Point2> {
+        (0..nx * ny)
+            .map(|i| Point2::new((i % nx) as f64 * spacing, (i / nx) as f64 * spacing))
+            .collect()
+    }
+
+    /// A smoothly warped copy of the truth, mimicking accumulated
+    /// registration drift: displacement grows quadratically with x.
+    fn drifted(truth: &[Point2], scale: f64) -> PositionMap {
+        let mut positions = PositionMap::unlocalized(truth.len());
+        for (i, p) in truth.iter().enumerate() {
+            let t = p.x / 40.0;
+            positions.set(
+                NodeId(i),
+                Point2::new(p.x + scale * t * t, p.y + 0.5 * scale * t * t),
+            );
+        }
+        positions
+    }
+
+    #[test]
+    fn refinement_pulls_drifted_map_back_onto_measurements() {
+        let truth = grid(6, 4, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let mut positions = drifted(&truth, 8.0);
+        let before = crate::eval::evaluate_against_truth(&positions, &truth).unwrap();
+        let out = refine_aligned(&set, &mut positions, &RefineConfig::default()).unwrap();
+        let after = crate::eval::evaluate_against_truth(&positions, &truth).unwrap();
+        assert_eq!(out.nodes, truth.len());
+        assert!(out.final_stress < out.initial_stress * 1e-3, "{out:?}");
+        assert!(
+            after.mean_error < 0.05 * before.mean_error,
+            "refinement {} -> {}",
+            before.mean_error,
+            after.mean_error
+        );
+        assert!(out.iterations > 0 && out.cg_iterations > 0);
+    }
+
+    #[test]
+    fn unaligned_nodes_stay_untouched() {
+        let truth = grid(4, 4, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let mut positions = drifted(&truth, 5.0);
+        positions.clear(NodeId(7));
+        let frozen = positions.get(NodeId(3));
+        let out = refine_aligned(&set, &mut positions, &RefineConfig::default()).unwrap();
+        assert_eq!(out.nodes, 15);
+        assert_eq!(positions.get(NodeId(7)), None, "unaligned stays unaligned");
+        assert_ne!(positions.get(NodeId(3)), frozen, "aligned nodes move");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let truth = grid(3, 3, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        // Zero aligned nodes.
+        let mut none = PositionMap::unlocalized(truth.len());
+        assert!(refine_aligned(&set, &mut none, &RefineConfig::default()).is_none());
+        // One aligned node.
+        let mut one = PositionMap::unlocalized(truth.len());
+        one.set(NodeId(0), truth[0]);
+        assert!(refine_aligned(&set, &mut one, &RefineConfig::default()).is_none());
+        // Two aligned nodes without a measured edge between them.
+        let mut sparse_set = MeasurementSet::new(3);
+        sparse_set.insert(NodeId(0), NodeId(1), 9.0);
+        let mut pair = PositionMap::unlocalized(3);
+        pair.set(NodeId(0), truth[0]);
+        pair.set(NodeId(2), truth[2]);
+        assert!(refine_aligned(&sparse_set, &mut pair, &RefineConfig::default()).is_none());
+    }
+
+    #[test]
+    fn already_optimal_configuration_converges_immediately() {
+        let truth = grid(4, 3, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let mut positions = PositionMap::complete(truth.clone());
+        let out = refine_aligned(&set, &mut positions, &RefineConfig::default()).unwrap();
+        assert!(out.converged, "{out:?}");
+        assert!(out.final_stress < 1e-12);
+        for (i, &p) in truth.iter().enumerate() {
+            assert!(positions.get(NodeId(i)).unwrap().distance(p) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let truth = grid(5, 4, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let run = || {
+            let mut positions = drifted(&truth, 6.0);
+            refine_aligned(&set, &mut positions, &RefineConfig::default());
+            (0..truth.len())
+                .map(|i| {
+                    let p = positions.get(NodeId(i)).unwrap();
+                    (p.x.to_bits(), p.y.to_bits())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn robust_reweighting_resists_a_gross_outlier_edge() {
+        let truth = grid(5, 3, 9.0);
+        let mut set = MeasurementSet::oracle(&truth, 15.0);
+        set.insert(NodeId(0), NodeId(1), 0.5); // true 9 m, echo-style
+        let robust_cfg = RefineConfig::default();
+        let plain_cfg = RefineConfig {
+            robust_scale_m: None,
+            ..RefineConfig::default()
+        };
+        let err_with = |cfg: &RefineConfig| {
+            let mut positions = drifted(&truth, 4.0);
+            refine_aligned(&set, &mut positions, cfg).unwrap();
+            crate::eval::evaluate_against_truth(&positions, &truth)
+                .unwrap()
+                .mean_error
+        };
+        let robust = err_with(&robust_cfg);
+        let plain = err_with(&plain_cfg);
+        assert!(
+            robust < plain,
+            "robust {robust} should beat plain {plain} under a gross outlier"
+        );
+        assert!(robust < 0.5, "robust error {robust}");
+    }
+
+    #[test]
+    fn rigid_frame_is_preserved_not_recentered() {
+        // The Tikhonov anchor keeps the refined map in the frame the
+        // flood produced: a configuration that is already a rigid motion
+        // of the truth must stay (approximately) where it is rather than
+        // snapping somewhere else.
+        let truth = grid(4, 3, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let moved = RigidTransform::new(0.6, false, Vec2::new(30.0, -12.0));
+        let mut positions = PositionMap::complete(truth.iter().map(|&p| moved.apply(p)).collect());
+        refine_aligned(&set, &mut positions, &RefineConfig::default()).unwrap();
+        for (i, &p) in truth.iter().enumerate() {
+            let q = positions.get(NodeId(i)).unwrap();
+            assert!(
+                q.distance(moved.apply(p)) < 0.1,
+                "node {i} moved {} m out of frame",
+                q.distance(moved.apply(p))
+            );
+        }
+    }
+}

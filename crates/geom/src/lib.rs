@@ -34,7 +34,7 @@ pub mod transform;
 
 pub use circle::{pairwise_intersections, Circle, CircleIntersection};
 pub use point::{centroid, Point2, Vec2};
-pub use procrustes::{fit_rigid_transform, AlignmentFit};
+pub use procrustes::{fit_rigid_transform, fit_rigid_transform_weighted, AlignmentFit};
 pub use transform::RigidTransform;
 
 /// Error type for geometric routines.

@@ -15,7 +15,7 @@
 //!    coordinates were translated, rotated and flipped to achieve a best-fit
 //!    match with the actual node coordinates" (Section 4.2.2).
 
-use crate::{centroid, GeomError, Point2, Result, RigidTransform, Vec2};
+use crate::{GeomError, Point2, Result, RigidTransform, Vec2};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of fitting a rigid transform `T` with `T(source[i]) ≈ target[i]`.
@@ -80,6 +80,60 @@ pub fn fit_rigid_transform(
     target: &[Point2],
     allow_reflection: bool,
 ) -> Result<AlignmentFit> {
+    fit_weighted(source, target, None, allow_reflection)
+}
+
+/// The weighted variant of [`fit_rigid_transform`]: minimizes
+/// `Σ w_i |T(source[i]) − target[i]|²`, so correspondences known to be
+/// less reliable pull on the fit less. Distributed LSS uses this for its
+/// pairwise local-map registration, down-weighting shared nodes far from
+/// the two map centers (a local LSS map is most accurate near its
+/// center, where the measurement graph is densest).
+///
+/// With uniform weights the fit is identical to [`fit_rigid_transform`].
+/// [`AlignmentFit::sse`] and [`AlignmentFit::rmse`] become their
+/// weight-adjusted forms (`Σ w r²` and `√(Σ w r² / Σ w)`);
+/// [`AlignmentFit::residuals`] stays the raw per-point distances.
+///
+/// # Errors
+///
+/// Same as [`fit_rigid_transform`], plus:
+///
+/// * [`GeomError::LengthMismatch`] when `weights` differs in length,
+/// * [`GeomError::Degenerate`] for a weight that is negative or not
+///   finite, or a weight vector summing to (near) zero.
+pub fn fit_rigid_transform_weighted(
+    source: &[Point2],
+    target: &[Point2],
+    weights: &[f64],
+    allow_reflection: bool,
+) -> Result<AlignmentFit> {
+    if weights.len() != source.len() {
+        return Err(GeomError::LengthMismatch {
+            left: source.len(),
+            right: weights.len(),
+        });
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(GeomError::Degenerate(
+            "weights must be finite and non-negative",
+        ));
+    }
+    if weights.iter().sum::<f64>() <= 1e-18 {
+        return Err(GeomError::Degenerate("weights sum to zero"));
+    }
+    fit_weighted(source, target, Some(weights), allow_reflection)
+}
+
+/// Shared implementation of the (weighted) rigid fit. `weights: None` is
+/// the uniform case and reproduces the historical unweighted arithmetic
+/// bit for bit (every factor is then exactly `1.0`).
+fn fit_weighted(
+    source: &[Point2],
+    target: &[Point2],
+    weights: Option<&[f64]>,
+    allow_reflection: bool,
+) -> Result<AlignmentFit> {
     if source.len() != target.len() {
         return Err(GeomError::LengthMismatch {
             left: source.len(),
@@ -92,10 +146,23 @@ pub fn fit_rigid_transform(
             got: source.len(),
         });
     }
-    let mu_src = centroid(source).expect("non-empty");
-    let mu_tgt = centroid(target).expect("non-empty");
+    let w_of = |i: usize| weights.map_or(1.0, |w| w[i]);
+    let w_sum: f64 = (0..source.len()).map(&w_of).sum();
+    let weighted_centroid = |pts: &[Point2]| {
+        let (sx, sy) = pts.iter().enumerate().fold((0.0, 0.0), |(sx, sy), (i, p)| {
+            (sx + w_of(i) * p.x, sy + w_of(i) * p.y)
+        });
+        Point2::new(sx / w_sum, sy / w_sum)
+    };
+    let mu_src = weighted_centroid(source);
+    let mu_tgt = weighted_centroid(target);
 
-    let spread = |pts: &[Point2], mu: Point2| pts.iter().map(|p| p.distance_sq(mu)).sum::<f64>();
+    let spread = |pts: &[Point2], mu: Point2| {
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| w_of(i) * p.distance_sq(mu))
+            .sum::<f64>()
+    };
     if spread(source, mu_src) < 1e-18 || spread(target, mu_tgt) < 1e-18 {
         return Err(GeomError::Degenerate("all points coincide"));
     }
@@ -120,18 +187,20 @@ pub fn fit_rigid_transform(
             })
             .collect();
 
-        // Cross-covariance sums between target (x, y) and f-adjusted source
-        // (u, v). Our transform applies x = c·u + s·v, y = −s·u + c·v; the
-        // stationarity condition is s·(S_xu − S_yv) = c·(S_xv + S_yu) ...
-        // derive: minimize Σ (c·u + s·v − x)² + (−s·u + c·v − y)².
+        // Weighted cross-covariance sums between target (x, y) and
+        // f-adjusted source (u, v). Our transform applies x = c·u + s·v,
+        // y = −s·u + c·v; the stationarity condition is
+        // s·(S_xu − S_yv) = c·(S_xv + S_yu) ...
+        // derive: minimize Σ w (c·u + s·v − x)² + w (−s·u + c·v − y)².
         // dE/dθ = 0  ⇔  s·(S_xu + S_yv) + c·(−S_xv + S_yu) = 0
         //         ⇔  θ = atan2(S_xv − S_yu, S_xu + S_yv)  (up to π).
         let (mut sxu, mut sxv, mut syu, mut syv) = (0.0, 0.0, 0.0, 0.0);
-        for &(sv, tv) in &centered {
-            sxu += tv.x * sv.x;
-            sxv += tv.x * sv.y;
-            syu += tv.y * sv.x;
-            syv += tv.y * sv.y;
+        for (i, &(sv, tv)) in centered.iter().enumerate() {
+            let w = w_of(i);
+            sxu += w * (tv.x * sv.x);
+            sxv += w * (tv.x * sv.y);
+            syu += w * (tv.y * sv.x);
+            syv += w * (tv.y * sv.y);
         }
         let theta0 = (sxv - syu).atan2(sxu + syv);
 
@@ -145,9 +214,13 @@ pub fn fit_rigid_transform(
                 .zip(target)
                 .map(|(&s, &t)| candidate.apply(s).distance(t))
                 .collect();
-            let sse: f64 = residuals.iter().map(|r| r * r).sum();
+            let sse: f64 = residuals
+                .iter()
+                .enumerate()
+                .map(|(i, r)| w_of(i) * (r * r))
+                .sum();
             if best.as_ref().is_none_or(|b| sse < b.sse) {
-                let rmse = (sse / residuals.len() as f64).sqrt();
+                let rmse = (sse / w_sum).sqrt();
                 best = Some(AlignmentFit {
                     transform: candidate,
                     sse,
@@ -164,6 +237,7 @@ pub fn fit_rigid_transform(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::centroid;
     use proptest::prelude::*;
 
     fn square() -> Vec<Point2> {
@@ -301,6 +375,80 @@ mod tests {
         ));
         assert!(matches!(
             fit_rigid_transform(&pts, &same, true),
+            Err(GeomError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_weights_reproduce_unweighted_fit_bitwise() {
+        let src = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(9.1, 0.3),
+            Point2::new(4.4, 8.2),
+            Point2::new(-3.7, 5.6),
+        ];
+        let hidden = RigidTransform::new(1.2, true, Vec2::new(3.0, -2.0));
+        let tgt: Vec<Point2> = src
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let q = hidden.apply(p);
+                Point2::new(q.x + 0.05 * i as f64, q.y - 0.03 * i as f64)
+            })
+            .collect();
+        let plain = fit_rigid_transform(&src, &tgt, true).unwrap();
+        let weighted = fit_rigid_transform_weighted(&src, &tgt, &[1.0; 4], true).unwrap();
+        assert_eq!(plain, weighted, "uniform weights must change nothing");
+    }
+
+    #[test]
+    fn weights_pull_the_fit_toward_reliable_points() {
+        // Three exact correspondences plus one grossly corrupted point:
+        // down-weighting the outlier must beat the uniform fit.
+        let src = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(0.0, 10.0),
+            Point2::new(10.0, 10.0),
+        ];
+        let hidden = RigidTransform::new(0.7, false, Vec2::new(4.0, 1.0));
+        let mut tgt: Vec<Point2> = src.iter().map(|&p| hidden.apply(p)).collect();
+        tgt[3] = Point2::new(tgt[3].x + 8.0, tgt[3].y - 6.0); // corrupted
+        let uniform = fit_rigid_transform(&src, &tgt, true).unwrap();
+        let weighted =
+            fit_rigid_transform_weighted(&src, &tgt, &[1.0, 1.0, 1.0, 0.01], true).unwrap();
+        let err = |t: &RigidTransform| {
+            src[..3]
+                .iter()
+                .map(|&p| t.apply(p).distance(hidden.apply(p)))
+                .sum::<f64>()
+        };
+        assert!(
+            err(&weighted.transform) < 0.2 * err(&uniform.transform),
+            "weighted {} vs uniform {}",
+            err(&weighted.transform),
+            err(&uniform.transform)
+        );
+    }
+
+    #[test]
+    fn weighted_error_cases() {
+        let src = square();
+        let tgt = square();
+        assert!(matches!(
+            fit_rigid_transform_weighted(&src, &tgt, &[1.0; 3], true),
+            Err(GeomError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            fit_rigid_transform_weighted(&src, &tgt, &[1.0, -1.0, 1.0, 1.0], true),
+            Err(GeomError::Degenerate(_))
+        ));
+        assert!(matches!(
+            fit_rigid_transform_weighted(&src, &tgt, &[1.0, f64::NAN, 1.0, 1.0], true),
+            Err(GeomError::Degenerate(_))
+        ));
+        assert!(matches!(
+            fit_rigid_transform_weighted(&src, &tgt, &[0.0; 4], true),
             Err(GeomError::Degenerate(_))
         ));
     }

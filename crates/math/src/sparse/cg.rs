@@ -31,6 +31,24 @@ impl Default for CgConfig {
     }
 }
 
+impl CgConfig {
+    /// Replaces the iteration cap (builder style); `0` means "dimension
+    /// of the system".
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Replaces the relative-residual convergence threshold (builder
+    /// style). Outer loops wrapping CG (e.g. Gauss–Newton refinement)
+    /// typically loosen this: each linearization is only an approximation,
+    /// so solving it past ~1e-6 buys nothing.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
 /// The result of a [`conjugate_gradient`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CgOutcome {

@@ -16,6 +16,9 @@
 //!   messages and timers ([`sim::Node`], [`sim::Simulator`]),
 //! * [`flood`] — reusable network-wide flooding with hop counting (also the
 //!   basis of a DV-hop baseline),
+//! * [`pool`] — a deterministic worker pool for the per-node computation
+//!   phases of simulated protocols (bit-identical output for any worker
+//!   count; distributed LSS shards its local-map solves on it),
 //! * [`topology`] — connectivity graphs derived from node positions and
 //!   radio range.
 //!
@@ -66,6 +69,7 @@
 
 pub mod clock;
 pub mod flood;
+pub mod pool;
 pub mod radio;
 pub mod sim;
 pub mod topology;

@@ -18,16 +18,72 @@ pub struct Topology {
 
 impl Topology {
     /// Builds the disk graph: nodes are neighbors when within `range_m`.
+    ///
+    /// Candidate pairs come from a uniform spatial grid of cell size
+    /// `range_m` (any in-range pair shares a cell or sits in adjacent
+    /// cells), so construction costs `O(n + edges)` instead of the
+    /// all-pairs `O(n²)` scan — the difference between instantiating a
+    /// metro-scale simulator in microseconds versus milliseconds.
+    /// Adjacency lists come out sorted ascending, exactly as the
+    /// all-pairs scan produced them.
     pub fn from_positions(positions: &[Point2], range_m: f64) -> Self {
         let n = positions.len();
         let mut neighbors = vec![Vec::new(); n];
+        // Flat sorted (cell_x, cell_y, node) index, binary searched per
+        // neighbor column — the same idiom as the LSS spatial-grid
+        // constraint backend. f64-to-i64 casts saturate, so neither
+        // non-finite coordinates nor degenerate ranges can panic: equal
+        // points always share a cell (range 0), an infinite range puts
+        // everything in cell (0, 0), and the final `<= range_m` check
+        // keeps the semantics of the all-pairs scan in every case.
+        let cell_of = |p: Point2| -> (i64, i64) {
+            (
+                (p.x / range_m).floor() as i64,
+                (p.y / range_m).floor() as i64,
+            )
+        };
+        let mut keyed: Vec<(i64, i64, u32)> = (0..n)
+            .map(|i| {
+                let (cx, cy) = cell_of(positions[i]);
+                (cx, cy, i as u32)
+            })
+            .collect();
+        keyed.sort_unstable();
         for i in 0..n {
-            for j in (i + 1)..n {
-                if positions[i].distance(positions[j]) <= range_m {
-                    neighbors[i].push(NodeId(j));
-                    neighbors[j].push(NodeId(i));
+            let (cx, cy) = cell_of(positions[i]);
+            // Saturation can collapse adjacent column indices onto the
+            // same value at the i64 extremes; visiting a collapsed
+            // column twice would record the same pair twice, so
+            // duplicates are skipped.
+            let columns = [cx.saturating_sub(1), cx, cx.saturating_add(1)];
+            for (k, &kx) in columns.iter().enumerate() {
+                if columns[..k].contains(&kx) {
+                    continue;
+                }
+                // Entries of column kx with cell_y in [cy-1, cy+1]
+                // form one contiguous sorted run.
+                let y_lo = cy.saturating_sub(1);
+                let y_hi = cy.saturating_add(1);
+                let lo = keyed.partition_point(|&(a, b, _)| (a, b) < (kx, y_lo));
+                let hi = keyed.partition_point(|&(a, b, _)| (a, b) <= (kx, y_hi));
+                for &(_, _, j) in &keyed[lo..hi] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    if positions[i].distance(positions[j]) <= range_m {
+                        neighbors[i].push(NodeId(j));
+                        neighbors[j].push(NodeId(i));
+                    }
                 }
             }
+        }
+        // The grid sweep discovers pairs in cell order, not id order;
+        // sorting restores the exact adjacency lists of the all-pairs
+        // scan (each list ascending), keeping `Topology` values — and
+        // everything fingerprinted downstream — bit-identical.
+        for list in &mut neighbors {
+            list.sort_unstable();
         }
         Topology { neighbors }
     }
@@ -311,7 +367,76 @@ mod tests {
         assert_eq!(sp[0][1], Some(2.0));
     }
 
+    /// The all-pairs reference the spatial-grid builder must reproduce
+    /// exactly (adjacency lists ascending).
+    fn from_positions_all_pairs(positions: &[Point2], range_m: f64) -> Topology {
+        Topology::from_edges(
+            positions.len(),
+            (0..positions.len()).flat_map(|i| {
+                (i + 1..positions.len())
+                    .filter(move |&j| positions[i].distance(positions[j]) <= range_m)
+                    .map(move |j| (NodeId(i), NodeId(j)))
+            }),
+        )
+    }
+
+    #[test]
+    fn grid_builder_handles_degenerate_ranges() {
+        let positions = [
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 0.0), // coincident with node 0
+            Point2::new(5.0, 0.0),
+        ];
+        // Range 0 connects only coincident points.
+        let zero = Topology::from_positions(&positions, 0.0);
+        assert!(zero.are_neighbors(NodeId(0), NodeId(1)));
+        assert_eq!(zero.edge_count(), 1);
+        // An infinite range connects everything.
+        let inf = Topology::from_positions(&positions, f64::INFINITY);
+        assert_eq!(inf.edge_count(), 3);
+        // A NaN range connects nothing.
+        assert_eq!(
+            Topology::from_positions(&positions, f64::NAN).edge_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn grid_builder_handles_saturated_cell_indices() {
+        // Coordinates whose cell index saturates to the i64 extremes
+        // collapse adjacent grid columns onto one value; each pair must
+        // still be recorded exactly once.
+        let coincident = [Point2::new(5.0, 0.0), Point2::new(5.0, 0.0)];
+        let zero = Topology::from_positions(&coincident, 0.0); // 5/0 = +inf
+        assert_eq!(zero.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(zero.edge_count(), 1);
+        let negative = [Point2::new(-5.0, -3.0), Point2::new(-5.0, -3.0)];
+        let neg = Topology::from_positions(&negative, 0.0); // -5/0 = -inf
+        assert_eq!(neg.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(neg.edge_count(), 1);
+        // Huge but finite coordinates with a tiny range saturate too.
+        let huge = [Point2::new(1e300, 1e300), Point2::new(1e300, 1e300)];
+        let t = Topology::from_positions(&huge, 1e-3);
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.edge_count(), 1);
+    }
+
     proptest! {
+        /// The spatial-grid disk-graph builder reproduces the all-pairs
+        /// scan exactly — same neighbor sets, same (ascending) adjacency
+        /// order — on arbitrary point clouds, including clustered ones
+        /// spanning many grid cells.
+        #[test]
+        fn prop_grid_builder_matches_all_pairs(
+            pts in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 0..60),
+            range in 0.5f64..50.0,
+        ) {
+            let positions: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+            let grid = Topology::from_positions(&positions, range);
+            let reference = from_positions_all_pairs(&positions, range);
+            prop_assert_eq!(grid, reference);
+        }
+
         /// Hop counts are symmetric for undirected graphs built from
         /// positions: hops(a)[b] == hops(b)[a].
         #[test]

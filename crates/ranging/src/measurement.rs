@@ -294,7 +294,11 @@ impl MeasurementSet {
     /// original [`NodeId`].
     ///
     /// Used by distributed LSS, where each node localizes only itself and
-    /// its ranging neighbors.
+    /// its ranging neighbors. Extraction walks the induced nodes'
+    /// adjacency lists — `O(cluster edges)` lookups — rather than
+    /// scanning the whole edge map, so carving `n` per-node clusters out
+    /// of a metro-scale set costs `O(Σ cluster edges)` total instead of
+    /// `O(n · total edges)`.
     pub fn subgraph(&self, nodes: &[NodeId]) -> (MeasurementSet, Vec<NodeId>) {
         let mapping: Vec<NodeId> = nodes.to_vec();
         let index_of: BTreeMap<usize, usize> = nodes
@@ -303,9 +307,20 @@ impl MeasurementSet {
             .map(|(new, old)| (old.index(), new))
             .collect();
         let mut sub = MeasurementSet::new(nodes.len());
-        for (a, b, d, w) in self.iter_weighted() {
-            if let (Some(&ia), Some(&ib)) = (index_of.get(&a.index()), index_of.get(&b.index())) {
-                sub.insert_weighted(NodeId(ia), NodeId(ib), d, w);
+        for (&old, &ia) in &index_of {
+            let Some(adj) = self.adjacency.get(old) else {
+                continue;
+            };
+            for &other in adj {
+                // Each induced edge is visited from both endpoints; keep
+                // the `old < other` orientation so it is inserted once.
+                if other <= old {
+                    continue;
+                }
+                if let Some(&ib) = index_of.get(&other) {
+                    let edge = self.edges[&(old, other)];
+                    sub.insert_weighted(NodeId(ia), NodeId(ib), edge.distance, edge.weight);
+                }
             }
         }
         (sub, mapping)
@@ -524,6 +539,37 @@ mod tests {
     }
 
     proptest! {
+        /// The adjacency-walking subgraph extraction agrees with a full
+        /// edge-map scan for arbitrary sets and arbitrary induced node
+        /// lists (including ids with no edges).
+        #[test]
+        fn prop_subgraph_matches_full_scan(
+            edges in proptest::collection::vec((0usize..10, 0usize..10, 0.1f64..50.0), 0..40),
+            picks in proptest::collection::vec(0usize..10, 0..8),
+        ) {
+            let mut set = MeasurementSet::new(10);
+            for (a, b, d) in edges {
+                if a != b {
+                    set.insert(id(a), id(b), d);
+                }
+            }
+            let mut nodes: Vec<NodeId> = picks.into_iter().map(NodeId).collect();
+            nodes.sort();
+            nodes.dedup();
+            let (sub, mapping) = set.subgraph(&nodes);
+            // Reference: re-map every edge whose endpoints are both picked.
+            let mut expect = MeasurementSet::new(nodes.len());
+            for (a, b, d, w) in set.iter_weighted() {
+                let pa = nodes.iter().position(|&x| x == a);
+                let pb = nodes.iter().position(|&x| x == b);
+                if let (Some(ia), Some(ib)) = (pa, pb) {
+                    expect.insert_weighted(NodeId(ia), NodeId(ib), d, w);
+                }
+            }
+            prop_assert_eq!(sub, expect);
+            prop_assert_eq!(mapping, nodes);
+        }
+
         /// Adjacency stays consistent with the edge map under arbitrary
         /// insert/remove interleavings.
         #[test]

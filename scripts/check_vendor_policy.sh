@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Vendor-policy guard: the build environment has no network access to
+# crates.io, so every external dependency is an offline API-compatible
+# shim under vendor/ wired in as a path dependency (see
+# docs/ARCHITECTURE.md, "Vendor policy"). This check fails if any
+# manifest or the lockfile gains a crates.io registry dependency, so the
+# invariant is enforced by CI instead of rediscovered as a broken build.
+# Run from the repository root.
+set -euo pipefail
+
+status=0
+
+# 1. The lockfile must not reference any registry (a registry package
+#    records `source = "registry+..."`; path dependencies record none).
+if grep -n 'source = "registry+' Cargo.lock >&2; then
+    echo "Cargo.lock references a crates.io registry package (see above);" \
+        "extend the vendor/ shims instead" >&2
+    status=1
+fi
+
+# 2. No manifest may declare a version-only (registry) dependency.
+#    Two TOML spellings exist and both are checked:
+#    * inline sections (`[dependencies]`, `[dev-dependencies]`,
+#      `[workspace.dependencies]`, `[target.X.dependencies]`, ...):
+#      every line is one dependency and must carry `path = ...` or
+#      `workspace = true` (the workspace table itself maps each name to
+#      a vendor/ or crates/ path);
+#    * single-dependency tables (`[dependencies.foo]`, ...): the table
+#      as a whole must contain a `path = ...` or `workspace = true`
+#      line (other lines — features, default-features — are fine).
+while IFS= read -r manifest; do
+    bad=$(awk '
+        function report_table() {
+            if (table_active && !table_ok) printf "%s", table_buf
+            table_active = 0; table_ok = 0; table_buf = ""
+        }
+        /^\[/ {
+            report_table()
+            inline = ($0 ~ /(^\[|\.)(dev-|build-)?dependencies\]/)
+            table_active = ($0 ~ /(^\[|\.)(dev-|build-)?dependencies\./)
+            next
+        }
+        !NF || /^[[:space:]]*#/ { next }
+        inline {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/) {
+                print FILENAME ":" FNR ": " $0
+            }
+        }
+        table_active {
+            table_buf = table_buf FILENAME ":" FNR ": " $0 "\n"
+            if ($0 ~ /path[[:space:]]*=/ || $0 ~ /workspace[[:space:]]*=[[:space:]]*true/) {
+                table_ok = 1
+            }
+        }
+        END { report_table() }
+    ' "$manifest")
+    if [[ -n "$bad" ]]; then
+        echo "$bad" >&2
+        status=1
+    fi
+done < <(git ls-files '*Cargo.toml')
+
+if [[ $status -ne 0 ]]; then
+    echo "vendor policy violated: registry dependencies are not buildable" \
+        "in this environment (no crates.io access)" >&2
+    exit $status
+fi
+echo "vendor policy OK: all dependencies resolve to in-tree paths"

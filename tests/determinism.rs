@@ -109,6 +109,48 @@ fn campaign_reports_are_bit_identical_for_1_and_4_workers() {
     assert_eq!(one.fingerprint(), cells.fingerprint());
 }
 
+/// The distributed pipeline's local-solve phase shards across the
+/// `rl_net::pool` worker pool; its outcome must be **bit-identical** for
+/// any worker count, because every node's solve draws from a stream
+/// derived from `(run seed, node id)` — never from a generator shared
+/// across nodes — and the pool returns results in node order regardless
+/// of scheduling. Asserted for simulator worker counts ∈ {1, 4} on the
+/// raw coordinate bits (with the Gauss–Newton/CG refinement stage
+/// enabled, which is deterministic by construction).
+#[test]
+fn distributed_pipeline_bit_identical_for_1_and_4_workers() {
+    use rl_core::distributed::{run_distributed, DistributedConfig};
+
+    let field = rl_deploy::grid::OffsetGrid::new(5, 4, 9.144, 9.144).generate();
+    let mut rng = rl_math::rng::seeded(31);
+    let set = rl_deploy::synth::SyntheticRanging::paper().measure_all(&field.positions, &mut rng);
+
+    let fingerprint = |workers: usize| -> Vec<Option<(u64, u64)>> {
+        let mut rng = rl_math::rng::seeded(77);
+        let config = DistributedConfig::default()
+            .with_min_spacing(9.14, 10.0)
+            .with_workers(workers);
+        let out = run_distributed(&set, &field.positions, NodeId(5), &config, &mut rng)
+            .expect("protocol runs");
+        assert!(out.refine.is_some(), "refinement must have run");
+        (0..field.positions.len())
+            .map(|i| {
+                out.positions
+                    .get(NodeId(i))
+                    .map(|p| (p.x.to_bits(), p.y.to_bits()))
+            })
+            .collect()
+    };
+
+    let one = fingerprint(1);
+    let four = fingerprint(4);
+    assert!(one.iter().flatten().count() > 0, "some nodes localized");
+    assert_eq!(
+        one, four,
+        "worker count leaked into the distributed outcome"
+    );
+}
+
 /// The synthetic-ranging path (no acoustic simulation) obeys the same
 /// contract, covering the generator used by the benches and examples.
 #[test]

@@ -120,6 +120,60 @@ fn multilateration_does_not_invent_positions() {
     }
 }
 
+/// A node with zero usable neighbors (no ranging pairs, no radio
+/// contact) cannot build a local map or hear the alignment flood; the
+/// rest of the network must localize around it, and the refinement
+/// stage must leave the unlocalized node untouched instead of inventing
+/// a position for it.
+#[test]
+fn distributed_tolerates_node_with_zero_neighbors() {
+    use rl_core::distributed::{run_distributed, DistributedConfig};
+    let mut truth = grid(4, 4, 9.0);
+    truth.push(Point2::new(500.0, 500.0)); // far beyond ranging and radio
+    let mut rng = rl_math::rng::seeded(2006);
+    let set = rl_deploy::SyntheticRanging::paper().measure_all(&truth, &mut rng);
+    assert_eq!(set.degree(NodeId(16)), 0, "the outlier must be isolated");
+
+    let config = DistributedConfig::default().with_min_spacing(9.0, 10.0);
+    let out = run_distributed(&set, &truth, NodeId(5), &config, &mut rng).expect("protocol runs");
+    assert_eq!(out.local_maps_built, 16, "only the connected nodes map");
+    assert_eq!(out.positions.get(NodeId(16)), None, "no invented position");
+    assert!(out.positions.localized_count() >= 14);
+    let eval = evaluate_against_truth(&out.positions, &truth).expect("evaluable");
+    assert!(eval.mean_error < 1.0, "error {} m", eval.mean_error);
+}
+
+/// A disconnected district — internally dense, but with no measurements
+/// or radio path to the root's district — must stay unlocalized while
+/// the root's district localizes to meter level (the refinement stage
+/// operates on the aligned component alone).
+#[test]
+fn distributed_survives_disconnected_district() {
+    use rl_core::distributed::{run_distributed, DistributedConfig};
+    let mut truth = grid(4, 3, 9.0);
+    let far: Vec<Point2> = grid(3, 3, 9.0)
+        .iter()
+        .map(|p| Point2::new(p.x + 400.0, p.y + 400.0))
+        .collect();
+    truth.extend(far);
+    let mut rng = rl_math::rng::seeded(2007);
+    let set = rl_deploy::SyntheticRanging::paper().measure_all(&truth, &mut rng);
+
+    let config = DistributedConfig::default().with_min_spacing(9.0, 10.0);
+    let out = run_distributed(&set, &truth, NodeId(0), &config, &mut rng).expect("protocol runs");
+    assert_eq!(out.local_maps_built, 21, "both districts map locally");
+    for i in 12..21 {
+        assert_eq!(
+            out.positions.get(NodeId(i)),
+            None,
+            "node {i} is unreachable from the root and must stay unlocalized"
+        );
+    }
+    assert!(out.positions.localized_count() >= 10);
+    let eval = evaluate_against_truth(&out.positions, &truth).expect("evaluable");
+    assert!(eval.mean_error < 1.0, "error {} m", eval.mean_error);
+}
+
 /// The distributed protocol survives radio loss: with 20% packet loss the
 /// flood still aligns the large majority of nodes.
 #[test]
