@@ -126,6 +126,11 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
         experiments::metro::metro_sweep,
     ),
     (
+        "DEGRADATION",
+        "error-regime degradation ladder",
+        experiments::degradation::degradation_ladder,
+    ),
+    (
         "ABL-FILTER",
         "median vs mode vs none",
         experiments::ranging::filter_ablation,

@@ -1,0 +1,238 @@
+//! Release-mode resilience gate for the degradation ladder; run by CI.
+//!
+//! ```text
+//! cargo run --release -p rl-bench --bin resilience_smoke
+//! ```
+//!
+//! Runs the full degradation ladder — every solver family across the
+//! error-regime rungs (ideal → clean → NLOS → multipath → clock drift →
+//! contamination → hostile) at town and metro-250 scale — and enforces:
+//!
+//! 1. the ladder is **bit-identical across worker counts**: the pooled
+//!    and serial campaign reports must share a fingerprint,
+//! 2. on the contaminated rung (10% of nodes compromised), centralized
+//!    LSS with the Cauchy loss keeps its town mean error at or below
+//!    [`ROBUST_ERROR_BUDGET_M`] — the paper's resilience claim as a
+//!    regression gate,
+//! 3. the same solve with the squared loss **collapses**: its error must
+//!    exceed the robust budget, or the contamination rung has silently
+//!    gone soft and the A/B proves nothing,
+//! 4. the whole ladder finishes inside [`WALL_BUDGET`].
+//!
+//! Every cell's wall time and mean error, plus the robust-loss A/B, is
+//! written to `BENCH_degradation.json` (uploaded as a CI artifact next
+//! to `BENCH_metro.json`).
+
+use std::time::{Duration, Instant};
+
+use rl_bench::campaign::{Campaign, CampaignConfig, CampaignReport};
+use rl_bench::experiments::degradation::{contaminated_channel, degraded, regimes};
+use rl_bench::experiments::metro::metro_localizers;
+use rl_bench::MASTER_SEED;
+use rl_core::lss::{LssConfig, LssSolver};
+use rl_core::problem::Localizer;
+use rl_core::RobustLoss;
+use rl_deploy::Scenario;
+use serde::Serialize;
+
+/// Hard end-to-end budget for the ladder (both scales, both schedules).
+const WALL_BUDGET: Duration = Duration::from_secs(300);
+
+/// Mean-error ceiling for Cauchy-loss centralized LSS on the town's
+/// contaminated rung (10% of nodes compromised, `U(0, 60 m)` garbage).
+const ROBUST_ERROR_BUDGET_M: f64 = 2.0;
+
+/// One `BENCH_degradation.json` row: a (scenario, localizer) cell.
+#[derive(Debug, Serialize)]
+struct CellRecord {
+    scenario: String,
+    localizer: String,
+    wall_ms: f64,
+    mean_error_m: Option<f64>,
+    localized: Option<usize>,
+    nodes: Option<usize>,
+    ok: bool,
+}
+
+/// The robust-loss A/B on the contaminated town rung.
+#[derive(Debug, Serialize)]
+struct RobustAb {
+    scenario: String,
+    squared_l2_error_m: Option<f64>,
+    cauchy_error_m: Option<f64>,
+    budget_m: f64,
+}
+
+/// The `BENCH_degradation.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    seed: u64,
+    workers: usize,
+    total_wall_ms: f64,
+    wall_budget_ms: f64,
+    fingerprint: u64,
+    robust_ab: RobustAb,
+    cells: Vec<CellRecord>,
+}
+
+fn cell_records(report: &CampaignReport) -> Vec<CellRecord> {
+    report
+        .runs
+        .iter()
+        .map(|run| {
+            let eval = run
+                .outcome
+                .as_ref()
+                .ok()
+                .and_then(|o| o.evaluation.as_ref());
+            CellRecord {
+                scenario: run.scenario.clone(),
+                localizer: run.localizer.clone(),
+                wall_ms: run.wall_time.as_secs_f64() * 1e3,
+                mean_error_m: eval.map(|e| e.mean_error),
+                localized: eval.map(|e| e.localized),
+                nodes: eval.map(|e| e.total),
+                ok: run.outcome.is_ok(),
+            }
+        })
+        .collect()
+}
+
+/// Centralized LSS on `problem` with the given loss, evaluated against
+/// ground truth.
+fn lss_error(problem: &rl_core::problem::Problem, loss: RobustLoss) -> Option<f64> {
+    let solver = LssSolver::new(LssConfig::metro().with_robust_loss(loss));
+    let mut rng = rl_math::rng::seeded(MASTER_SEED);
+    let solution = solver.localize(problem, &mut rng).ok()?;
+    problem.evaluate(&solution).ok().map(|e| e.mean_error)
+}
+
+fn main() {
+    let bases = [
+        Scenario::town(MASTER_SEED),
+        Scenario::metro_sized(250, 0.10, MASTER_SEED),
+    ];
+    let mut campaign = Campaign::new()
+        .localizers(metro_localizers())
+        .seeds(&[MASTER_SEED]);
+    for base in &bases {
+        for (rung, channel) in regimes() {
+            campaign = campaign.scenario(degraded(base, rung, &channel));
+        }
+    }
+
+    let started = Instant::now();
+    let parallel = campaign.run();
+    let serial = campaign.run_with(CampaignConfig::serial());
+    let elapsed = started.elapsed();
+
+    println!("{}", parallel.summary_table());
+    println!(
+        "degradation ladder: {} cells x 2 schedules in {:.1?} (budget {:.0?})",
+        parallel.runs.len(),
+        elapsed,
+        WALL_BUDGET,
+    );
+
+    let mut failed = false;
+    if parallel.fingerprint() != serial.fingerprint() {
+        eprintln!(
+            "DETERMINISM BROKEN: pooled ladder fingerprint {:#018x} != serial {:#018x} — the \
+             degradation ladder must be bit-identical for any worker count",
+            parallel.fingerprint(),
+            serial.fingerprint()
+        );
+        failed = true;
+    }
+    for run in &parallel.runs {
+        if let Err(e) = &run.outcome {
+            eprintln!("SOLVER FAILURE: {} on {}: {e}", run.localizer, run.scenario);
+            failed = true;
+        }
+    }
+    if elapsed > WALL_BUDGET {
+        eprintln!("WALL BUDGET EXCEEDED: {elapsed:.1?} > {WALL_BUDGET:.0?}");
+        failed = true;
+    }
+
+    // The headline gate: robust-loss LSS survives the contamination that
+    // collapses the squared loss, on the paper's own town geometry.
+    let town_contaminated = degraded(&bases[0], "contaminated-10", &contaminated_channel());
+    let problem = town_contaminated.instantiate(MASTER_SEED);
+    let squared = lss_error(&problem, RobustLoss::SquaredL2);
+    let cauchy = lss_error(&problem, RobustLoss::Cauchy { scale_m: 1.0 });
+    match cauchy {
+        Some(err) if err <= ROBUST_ERROR_BUDGET_M => {
+            println!(
+                "cauchy-loss LSS on {}: {err:.3} m (budget {ROBUST_ERROR_BUDGET_M} m)",
+                town_contaminated.name
+            );
+        }
+        Some(err) => {
+            eprintln!(
+                "ROBUST ERROR BUDGET EXCEEDED: cauchy-loss LSS at {err:.3} m > \
+                 {ROBUST_ERROR_BUDGET_M} m on {} — the resilience claim has regressed",
+                town_contaminated.name
+            );
+            failed = true;
+        }
+        None => {
+            eprintln!("ROBUST SOLVE FAILED: no evaluation for the contaminated town");
+            failed = true;
+        }
+    }
+    match squared {
+        Some(err) if err > ROBUST_ERROR_BUDGET_M => {
+            println!(
+                "squared-loss LSS on {}: {err:.3} m — collapses as expected",
+                town_contaminated.name
+            );
+        }
+        Some(err) => {
+            eprintln!(
+                "CONTAMINATION RUNG TOO SOFT: squared-loss LSS survives at {err:.3} m <= \
+                 {ROBUST_ERROR_BUDGET_M} m — the A/B no longer demonstrates a collapse"
+            );
+            failed = true;
+        }
+        None => {
+            // A structured error under contamination is a legitimate form
+            // of collapse; the robust gate above is the one that must pass.
+            println!(
+                "squared-loss LSS on {}: failed to solve — collapses as expected",
+                town_contaminated.name
+            );
+        }
+    }
+
+    let bench = BenchReport {
+        seed: MASTER_SEED,
+        workers: parallel.workers,
+        total_wall_ms: elapsed.as_secs_f64() * 1e3,
+        wall_budget_ms: WALL_BUDGET.as_secs_f64() * 1e3,
+        fingerprint: parallel.fingerprint(),
+        robust_ab: RobustAb {
+            scenario: town_contaminated.name.clone(),
+            squared_l2_error_m: squared,
+            cauchy_error_m: cauchy,
+            budget_m: ROBUST_ERROR_BUDGET_M,
+        },
+        cells: cell_records(&parallel),
+    };
+    let json = serde_json::to_string(&bench).expect("report serializes");
+    match std::fs::write("BENCH_degradation.json", &json) {
+        Ok(()) => println!("wrote BENCH_degradation.json ({} bytes)", json.len()),
+        Err(e) => {
+            eprintln!("FAILED to write BENCH_degradation.json: {e}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "degradation ladder bit-identical across worker counts; robust-loss LSS holds \
+         <= {ROBUST_ERROR_BUDGET_M} m where the squared loss collapses"
+    );
+}

@@ -6,6 +6,7 @@
 //! they extend.
 
 pub mod baselines;
+pub mod degradation;
 pub mod distributed;
 pub mod lss;
 pub mod metro;

@@ -467,6 +467,19 @@ impl DistributedConfig {
         self
     }
 
+    /// Selects the robust loss for the whole pipeline (builder style):
+    /// both the per-node local LSS reweighting and the post-alignment
+    /// Gauss–Newton refinement use `loss`.
+    /// [`RobustLoss`](rl_math::RobustLoss)`::SquaredL2` turns every IRLS
+    /// stage into its plain least-squares baseline.
+    pub fn with_robust_loss(mut self, loss: rl_math::RobustLoss) -> Self {
+        self.local_lss = self.local_lss.with_robust_loss(loss);
+        if let Some(refine) = &mut self.refine {
+            refine.loss = loss;
+        }
+        self
+    }
+
     /// Sets the local-solve worker count (builder style); `0` sizes the
     /// pool to the machine. Any value produces the bit-identical
     /// outcome.

@@ -25,9 +25,12 @@
 //! null space (translations/rotations cost `λ‖δ‖²`, so the solution
 //! stays in the root's frame instead of drifting) and acts as
 //! Levenberg–Marquardt damping, grown on rejected steps and shrunk on
-//! accepted ones. Optional Cauchy reweighting (`w̃ = w / (1 + (r/c)²)`,
-//! recomputed per outer iteration) keeps the handful of badly stitched
-//! nodes a metro flood produces from bending the refit around them.
+//! accepted ones. A [`rl_math::RobustLoss`] kernel
+//! ([`RefineConfig::loss`], Cauchy at a 2 m scale by default:
+//! `w̃ = w / (1 + (r/c)²)`, recomputed per outer iteration) keeps the
+//! handful of badly stitched nodes a metro flood produces from bending
+//! the refit around them; `RobustLoss::SquaredL2` turns the
+//! reweighting off.
 //!
 //! The whole stage is deterministic: no randomness, fixed iteration
 //! order (edges in measurement-set order), so it preserves the
@@ -36,6 +39,7 @@
 use rl_geom::Point2;
 use rl_math::sparse::cg::{conjugate_gradient, CgConfig};
 use rl_math::sparse::LinearOperator;
+use rl_math::RobustLoss;
 use rl_net::NodeId;
 use rl_ranging::measurement::MeasurementSet;
 
@@ -50,10 +54,13 @@ pub struct RefineConfig {
     /// of ~1). Adapted multiplicatively: ×0.3 on accepted steps, ×10 on
     /// rejected ones.
     pub tikhonov: f64,
-    /// Cauchy robust-reweighting scale `c` in meters (`None` disables):
-    /// an edge's weight is multiplied by `1 / (1 + (r/c)²)` of its
-    /// current residual `r` each outer iteration.
-    pub robust_scale_m: Option<f64>,
+    /// The robust loss kernel applied to edge residuals: an edge's
+    /// weight is multiplied by the loss's IRLS factor at its current
+    /// residual each outer iteration. The default Cauchy loss at a 2 m
+    /// scale keeps badly stitched outlier nodes from bending the refit;
+    /// [`RobustLoss::SquaredL2`] disables reweighting (the historical
+    /// `robust_scale_m: None`).
+    pub loss: RobustLoss,
     /// Inner CG settings. The default loosens the tolerance to `1e-4` —
     /// each linearization is approximate, so solving it to machine
     /// precision buys nothing — and caps iterations at 200 (a truncated
@@ -71,7 +78,7 @@ impl Default for RefineConfig {
         RefineConfig {
             max_iterations: 12,
             tikhonov: 1e-2,
-            robust_scale_m: Some(2.0),
+            loss: RobustLoss::Cauchy { scale_m: 2.0 },
             cg: CgConfig::default()
                 .with_max_iterations(200)
                 .with_tolerance(1e-4),
@@ -195,10 +202,7 @@ pub fn refine_aligned(
             let dy = x[m + i] - x[m + j];
             let dist = (dx * dx + dy * dy).sqrt();
             let r = dist - d;
-            let wr = match config.robust_scale_m {
-                Some(c) => w / (1.0 + (r / c) * (r / c)),
-                None => w,
-            };
+            let wr = config.loss.reweight(w, r);
             lin.stress += wr * r * r;
             lin.w_tilde.push(wr);
             lin.residuals.push(r);
@@ -418,7 +422,7 @@ mod tests {
         set.insert(NodeId(0), NodeId(1), 0.5); // true 9 m, echo-style
         let robust_cfg = RefineConfig::default();
         let plain_cfg = RefineConfig {
-            robust_scale_m: None,
+            loss: RobustLoss::SquaredL2,
             ..RefineConfig::default()
         };
         let err_with = |cfg: &RefineConfig| {

@@ -29,6 +29,11 @@ pub struct Evaluation {
     pub per_node: Vec<(NodeId, f64)>,
     /// Estimated positions mapped into the ground-truth frame.
     pub aligned: PositionMap,
+    /// Estimates skipped because a coordinate was NaN or infinite. A
+    /// non-finite estimate is a solver bug, but it must surface as this
+    /// flag — not as a NaN `mean_error` silently poisoning every
+    /// aggregate built on top of the evaluation.
+    pub non_finite: usize,
 }
 
 impl Evaluation {
@@ -75,6 +80,7 @@ impl Evaluation {
             max_error,
             per_node,
             aligned,
+            non_finite: self.non_finite,
         }
     }
 
@@ -86,7 +92,7 @@ impl Evaluation {
             return 0.0;
         }
         let mut errors: Vec<f64> = self.per_node.iter().map(|&(_, e)| e).collect();
-        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        errors.sort_by(f64::total_cmp);
         let keep = errors.len().saturating_sub(k);
         if keep == 0 {
             return 0.0;
@@ -95,16 +101,35 @@ impl Evaluation {
     }
 }
 
+/// Splits the localized nodes into those with finite estimates and a
+/// count of those with NaN/infinite coordinates: the latter are skipped
+/// by the metrics and surfaced via [`Evaluation::non_finite`].
+fn finite_localized(estimated: &PositionMap) -> (Vec<NodeId>, usize) {
+    let mut finite = Vec::new();
+    let mut non_finite = 0;
+    for id in estimated.localized_nodes() {
+        let p = estimated.get(id).expect("localized");
+        if p.x.is_finite() && p.y.is_finite() {
+            finite.push(id);
+        } else {
+            non_finite += 1;
+        }
+    }
+    (finite, non_finite)
+}
+
 /// Evaluates estimates **after best-fit rigid alignment** (translation,
 /// rotation, reflection) with the ground truth — the protocol for
 /// anchor-free algorithms like LSS.
 ///
-/// Only localized nodes participate in the alignment and the metric.
+/// Only localized nodes with finite estimates participate in the
+/// alignment and the metric; non-finite estimates are skipped and
+/// counted in [`Evaluation::non_finite`] instead of poisoning the mean.
 ///
 /// # Errors
 ///
-/// * [`LocalizationError::Evaluation`] when fewer than 2 nodes are
-///   localized or the estimate/truth lengths disagree,
+/// * [`LocalizationError::Evaluation`] when fewer than 2 nodes have
+///   finite estimates or the estimate/truth lengths disagree,
 /// * geometric errors from a degenerate alignment.
 pub fn evaluate_against_truth(estimated: &PositionMap, truth: &[Point2]) -> Result<Evaluation> {
     if estimated.len() != truth.len() {
@@ -112,10 +137,10 @@ pub fn evaluate_against_truth(estimated: &PositionMap, truth: &[Point2]) -> Resu
             "estimate and truth cover different node counts",
         ));
     }
-    let localized: Vec<NodeId> = estimated.localized_nodes();
+    let (localized, non_finite) = finite_localized(estimated);
     if localized.len() < 2 {
         return Err(LocalizationError::Evaluation(
-            "need at least two localized nodes to align",
+            "need at least two finitely localized nodes to align",
         ));
     }
     let source: Vec<Point2> = localized
@@ -144,6 +169,7 @@ pub fn evaluate_against_truth(estimated: &PositionMap, truth: &[Point2]) -> Resu
         max_error,
         per_node,
         aligned,
+        non_finite,
     })
 }
 
@@ -151,19 +177,24 @@ pub fn evaluate_against_truth(estimated: &PositionMap, truth: &[Point2]) -> Resu
 /// protocol for anchor-based algorithms like multilateration, whose output
 /// already lives in the anchors' coordinate system.
 ///
+/// Non-finite estimates are skipped and counted in
+/// [`Evaluation::non_finite`] instead of poisoning the mean.
+///
 /// # Errors
 ///
-/// * [`LocalizationError::Evaluation`] when nothing is localized or the
-///   lengths disagree.
+/// * [`LocalizationError::Evaluation`] when nothing is finitely
+///   localized or the lengths disagree.
 pub fn evaluate_absolute(estimated: &PositionMap, truth: &[Point2]) -> Result<Evaluation> {
     if estimated.len() != truth.len() {
         return Err(LocalizationError::Evaluation(
             "estimate and truth cover different node counts",
         ));
     }
-    let localized = estimated.localized_nodes();
+    let (localized, non_finite) = finite_localized(estimated);
     if localized.is_empty() {
-        return Err(LocalizationError::Evaluation("no nodes were localized"));
+        return Err(LocalizationError::Evaluation(
+            "no nodes were finitely localized",
+        ));
     }
     let mut per_node = Vec::with_capacity(localized.len());
     let mut max_error: f64 = 0.0;
@@ -183,6 +214,7 @@ pub fn evaluate_absolute(estimated: &PositionMap, truth: &[Point2]) -> Result<Ev
         max_error,
         per_node,
         aligned,
+        non_finite,
     })
 }
 
@@ -279,6 +311,43 @@ mod tests {
         let empty = eval.excluding(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(empty.localized, 0);
         assert_eq!(empty.mean_error, 0.0);
+    }
+
+    /// A single NaN estimate must be skipped and flagged — not turn the
+    /// whole campaign's mean/max into NaN.
+    #[test]
+    fn a_nan_node_no_longer_poisons_the_summary() {
+        let t = truth();
+        let mut est = PositionMap::complete(t.clone());
+        est.set(NodeId(2), Point2::new(f64::NAN, 3.0));
+
+        for eval in [
+            evaluate_against_truth(&est, &t).unwrap(),
+            evaluate_absolute(&est, &t).unwrap(),
+        ] {
+            assert_eq!(eval.non_finite, 1);
+            assert_eq!(eval.localized, 3);
+            assert!(eval.mean_error.is_finite(), "mean {}", eval.mean_error);
+            assert!(eval.max_error.is_finite(), "max {}", eval.max_error);
+            assert!(eval.mean_error < 1e-9, "finite nodes are exact");
+            assert!(!eval.aligned.is_localized(NodeId(2)), "NaN node skipped");
+            // The flag survives exclusion views (campaign summaries
+            // aggregate those too).
+            assert_eq!(eval.excluding(&[NodeId(0)]).non_finite, 1);
+        }
+
+        // An all-NaN / infinite estimate is a structured error, not NaN.
+        let mut bad = PositionMap::unlocalized(4);
+        bad.set(NodeId(0), Point2::new(f64::NAN, 0.0));
+        bad.set(NodeId(1), Point2::new(0.0, f64::INFINITY));
+        assert!(matches!(
+            evaluate_against_truth(&bad, &t),
+            Err(LocalizationError::Evaluation(_))
+        ));
+        assert!(matches!(
+            evaluate_absolute(&bad, &t),
+            Err(LocalizationError::Evaluation(_))
+        ));
     }
 
     #[test]

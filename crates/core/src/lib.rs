@@ -69,6 +69,7 @@ pub use eval::{evaluate_against_truth, Evaluation};
 pub use lss::{LssConfig, LssSolution, LssSolver};
 pub use multilateration::{MultilaterationConfig, MultilaterationSolver};
 pub use problem::{Frame, Localizer, Problem, Solution, SolveStats, SolverBackend};
+pub use rl_math::RobustLoss;
 pub use types::{Anchor, PositionMap};
 
 /// Error type for localization algorithms.

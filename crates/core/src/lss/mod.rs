@@ -19,6 +19,7 @@ pub use error_fn::{LssObjective, SoftConstraint};
 use rand::Rng;
 use rl_geom::Point2;
 use rl_math::gradient::{minimize, DescentConfig, DescentTrace};
+use rl_math::RobustLoss;
 use rl_ranging::measurement::MeasurementSet;
 
 use crate::problem::SolverBackend;
@@ -61,10 +62,14 @@ pub struct LssConfig {
     /// magnitude higher.
     pub target_stress_per_pair: f64,
     /// Optional robust reweighting: after the base solve, measurement
-    /// weights are multiplied by a Cauchy factor `1 / (1 + (r/scale)²)` of
-    /// their residual `r` and the problem is re-solved, which suppresses
-    /// gross ranging outliers. This realizes §4.2.1's suggestion to weight
-    /// measurements "depending on their confidence levels".
+    /// weights are multiplied by the IRLS factor of the configured
+    /// [`RobustLoss`] at their residual and the problem is re-solved,
+    /// which suppresses gross ranging outliers. This realizes §4.2.1's
+    /// suggestion to weight measurements "depending on their confidence
+    /// levels". A [`RobustLoss::SquaredL2`] loss makes the reweighting a
+    /// no-op and the solver skips the extra re-solves entirely, leaving
+    /// the RNG stream — and therefore the solution — bit-identical to a
+    /// plain (`robust: None`) solve.
     pub robust: Option<RobustReweight>,
     /// Configuration seeding strategy.
     pub init: InitStrategy,
@@ -115,19 +120,46 @@ impl Default for LssConfig {
 }
 
 /// Parameters of the robust reweighting loop.
+///
+/// # Example
+///
+/// ```
+/// use rl_core::lss::RobustReweight;
+/// use rl_math::RobustLoss;
+///
+/// // The default is the historical Cauchy kernel at a 1 m scale ...
+/// assert_eq!(
+///     RobustReweight::default().loss,
+///     RobustLoss::Cauchy { scale_m: 1.0 }
+/// );
+/// // ... and any loss kernel can be swapped in.
+/// let huber = RobustReweight::with_loss(RobustLoss::Huber { delta_m: 1.0 });
+/// assert_eq!(huber.iterations, 2);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RobustReweight {
     /// Number of reweight-and-resolve passes (1-2 suffice).
     pub iterations: usize,
-    /// Residual scale (meters) at which a measurement's weight halves.
-    pub scale_m: f64,
+    /// The loss kernel supplying the IRLS weight factor. The default
+    /// Cauchy loss halves a measurement's weight at a 1 m residual.
+    pub loss: RobustLoss,
 }
 
 impl Default for RobustReweight {
     fn default() -> Self {
         RobustReweight {
             iterations: 2,
-            scale_m: 1.0,
+            loss: RobustLoss::Cauchy { scale_m: 1.0 },
+        }
+    }
+}
+
+impl RobustReweight {
+    /// The default iteration budget with an explicit loss kernel.
+    pub fn with_loss(loss: RobustLoss) -> Self {
+        RobustReweight {
+            loss,
+            ..RobustReweight::default()
         }
     }
 }
@@ -171,6 +203,15 @@ impl LssConfig {
     pub fn with_robust_reweight(mut self, robust: RobustReweight) -> Self {
         self.robust = Some(robust);
         self
+    }
+
+    /// Enables robust outlier reweighting with an explicit loss kernel
+    /// and the default iteration budget (builder style).
+    /// [`RobustLoss::SquaredL2`] turns the reweight passes into no-ops
+    /// (and the solver skips them), so the same code path covers the
+    /// non-robust baseline.
+    pub fn with_robust_loss(self, loss: RobustLoss) -> Self {
+        self.with_robust_reweight(RobustReweight::with_loss(loss))
     }
 
     /// Forces anchor-free operation through the unified
@@ -299,6 +340,12 @@ impl LssSolver {
         let Some(robust) = self.config.robust else {
             return Ok(solution);
         };
+        if robust.loss.is_quadratic() {
+            // IRLS with the quadratic loss re-solves the identical
+            // problem; skipping keeps the RNG stream (and the solution)
+            // bit-identical to a non-robust solve.
+            return Ok(solution);
+        }
         // Robust refinement: reweight by residual, re-solve from the
         // current configuration with a short budget.
         for _ in 0..robust.iterations {
@@ -307,7 +354,7 @@ impl LssSolver {
                 let pa = solution.coordinates[a.index()];
                 let pb = solution.coordinates[b.index()];
                 let residual = (pa.distance(pb) - d).abs();
-                let factor = 1.0 / (1.0 + (residual / robust.scale_m).powi(2));
+                let factor = robust.loss.irls_factor(residual);
                 reweighted.insert_weighted(a, b, d, (w * factor).max(1e-6));
             }
             let refine = LssSolver::new(LssConfig {

@@ -12,6 +12,7 @@ use rl_core::problem::Problem;
 use rl_core::types::Anchor;
 use rl_geom::Point2;
 use rl_net::NodeId;
+use rl_ranging::channel::RangingChannel;
 use serde::{Deserialize, Serialize};
 
 use crate::anchors::AnchorSelection;
@@ -37,6 +38,12 @@ pub struct Scenario {
     /// [`Scenario::instantiate`] (the paper's 22 m / N(0, 0.33 m) recipe
     /// by default).
     pub ranging: SyntheticRanging,
+    /// Optional composable error-channel stack. When set, it replaces
+    /// `ranging` at instantiation time: NLOS bias, multipath, clock
+    /// drift and adversarial contamination stages compose on top of the
+    /// clean recipe. `None` (the default everywhere) keeps every
+    /// existing scenario bit-identical to its pre-channel behavior.
+    pub channel: Option<RangingChannel>,
 }
 
 impl Scenario {
@@ -48,6 +55,7 @@ impl Scenario {
             deployment,
             anchors: Vec::new(),
             ranging: SyntheticRanging::paper(),
+            channel: None,
         }
     }
 
@@ -63,6 +71,7 @@ impl Scenario {
             deployment,
             anchors,
             ranging: SyntheticRanging::paper(),
+            channel: None,
         }
     }
 
@@ -81,6 +90,7 @@ impl Scenario {
             deployment,
             anchors,
             ranging: SyntheticRanging::paper(),
+            channel: None,
         }
     }
 
@@ -95,6 +105,7 @@ impl Scenario {
             deployment,
             anchors,
             ranging: SyntheticRanging::paper(),
+            channel: None,
         }
     }
 
@@ -112,6 +123,7 @@ impl Scenario {
             deployment: Deployment::new("urban-60", deployment.positions),
             anchors: Vec::new(),
             ranging: SyntheticRanging::paper(),
+            channel: None,
         }
     }
 
@@ -170,6 +182,7 @@ impl Scenario {
             deployment,
             anchors,
             ranging: SyntheticRanging::paper(),
+            channel: None,
         }
     }
 
@@ -192,6 +205,32 @@ impl Scenario {
         self
     }
 
+    /// Installs a composable error-channel stack (builder style): the
+    /// channel replaces the plain `ranging` recipe at instantiation
+    /// time. Same `(scenario, seed)` pair, same bit-identical problem —
+    /// the channel draws its sub-streams from the instantiation seed.
+    ///
+    /// ```
+    /// use rl_deploy::Scenario;
+    /// use rl_ranging::channel::{ChannelStage, RangingChannel};
+    ///
+    /// let clean = Scenario::town(7);
+    /// let hostile = clean.clone().with_channel(
+    ///     RangingChannel::paper().with_stage(ChannelStage::Adversarial {
+    ///         node_fraction: 0.10,
+    ///         corruption_m: 40.0,
+    ///     }),
+    /// );
+    /// // Same geometry, different measurements.
+    /// let (a, b) = (clean.instantiate(1), hostile.instantiate(1));
+    /// assert_eq!(a.truth(), b.truth());
+    /// assert_ne!(a.measurements(), b.measurements());
+    /// ```
+    pub fn with_channel(mut self, channel: RangingChannel) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
     /// Anchor descriptors (id + ground-truth position), ready for the
     /// anchor-based solvers.
     pub fn anchor_list(&self) -> Vec<Anchor> {
@@ -208,9 +247,12 @@ impl Scenario {
     /// problem.
     pub fn instantiate(&self, seed: u64) -> Problem {
         let mut rng = rl_math::rng::seeded(seed);
-        let measurements = self
-            .ranging
-            .measure_all(&self.deployment.positions, &mut rng);
+        let measurements = match &self.channel {
+            Some(channel) => channel.measure_all(&self.deployment.positions, &mut rng),
+            None => self
+                .ranging
+                .measure_all(&self.deployment.positions, &mut rng),
+        };
         Problem::builder(measurements)
             .name(self.name.clone())
             .anchors(self.anchor_list())
@@ -231,6 +273,7 @@ impl Scenario {
             deployment: self.deployment.clone(),
             anchors,
             ranging: self.ranging,
+            channel: self.channel.clone(),
         }
     }
 }
@@ -344,6 +387,36 @@ mod tests {
         // measurements.
         assert_eq!(s.instantiate(13), p);
         assert_ne!(s.instantiate(14).measurements(), p.measurements());
+    }
+
+    #[test]
+    fn with_channel_replaces_the_recipe_deterministically() {
+        use rl_ranging::channel::{ChannelStage, RangingChannel};
+        let clean = Scenario::town(7);
+        let hostile = clean.clone().with_channel(
+            RangingChannel::paper()
+                .with_stage(ChannelStage::NlosBias {
+                    mean_m: 1.0,
+                    std_m: 0.5,
+                })
+                .with_stage(ChannelStage::Adversarial {
+                    node_fraction: 0.10,
+                    corruption_m: 40.0,
+                }),
+        );
+        // Geometry and anchors are untouched; measurements differ.
+        assert_eq!(hostile.deployment, clean.deployment);
+        assert_eq!(hostile.anchors, clean.anchors);
+        let (a, b) = (clean.instantiate(13), hostile.instantiate(13));
+        assert_ne!(a.measurements(), b.measurements());
+        // Channel instantiation is bit-deterministic per seed.
+        assert_eq!(hostile.instantiate(13), b);
+        assert_ne!(hostile.instantiate(14), b);
+        // And survives serde + reanchoring.
+        let json = serde_json::to_string(&hostile).unwrap();
+        assert_eq!(serde_json::from_str::<Scenario>(&json).unwrap(), hostile);
+        let mut rng = seeded(5);
+        assert_eq!(hostile.reanchored(&mut rng).channel, hostile.channel);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`gradient`] — a generic gradient-descent driver with perturbation
 //!   restarts and trace recording, the optimizer behind least-squares
 //!   scaling (LSS) and multilateration,
+//! * [`loss`] — robust loss kernels ([`RobustLoss`]: squared-L2, Huber,
+//!   Cauchy) shared by every IRLS stage in the solving layers,
 //! * [`sparse`] — the large-`n` backend: CSR matrices ([`CsrMatrix`]),
 //!   the matrix-free [`LinearOperator`] abstraction, a conjugate-gradient
 //!   solver, a shifted subspace-iteration top-`k` symmetric eigensolver,
@@ -38,6 +40,7 @@
 
 pub mod eigen;
 pub mod gradient;
+pub mod loss;
 pub mod matrix;
 pub mod rng;
 pub mod sparse;
@@ -45,6 +48,7 @@ pub mod stats;
 
 pub use eigen::SymmetricEigen;
 pub use gradient::{DescentConfig, DescentOutcome, DescentTrace, Objective};
+pub use loss::RobustLoss;
 pub use matrix::DMatrix;
 pub use rng::GaussianSampler;
 pub use sparse::{CsrMatrix, LinearOperator};

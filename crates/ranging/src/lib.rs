@@ -20,7 +20,12 @@
 //!   (Section 3.5.1, implemented beyond the paper's future-work sketch),
 //! * [`error_model`] — a fast empirical error model calibrated to the
 //!   paper's reported distributions, for large simulation sweeps that do
-//!   not need the sample-level acoustic path.
+//!   not need the sample-level acoustic path,
+//! * [`channel`] — a composable ranging-error channel stack
+//!   ([`channel::RangingChannel`]): Gaussian noise, NLOS bias, multipath
+//!   delay spread, clock drift, and adversarial contamination as
+//!   independently seeded, stackable stages for stress-testing the
+//!   resilience claims.
 //!
 //! # Example
 //!
@@ -39,6 +44,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod channel;
 pub mod consistency;
 pub mod constraints;
 pub mod error_model;
@@ -47,6 +53,7 @@ pub mod measurement;
 pub mod service;
 pub mod tdoa;
 
+pub use channel::{ChannelStage, RangingChannel};
 pub use consistency::{BidirectionalPolicy, ConsistencyConfig};
 pub use constraints::DistanceCatalog;
 pub use error_model::EmpiricalRangingModel;

@@ -98,7 +98,7 @@ pub mod prelude {
     pub use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
     pub use rl_core::problem::{Frame, Localizer, Problem, Solution, SolveStats};
     pub use rl_core::types::{Anchor, NodeId, PositionMap};
-    pub use rl_core::{LocalizationError, Result};
+    pub use rl_core::{LocalizationError, Result, RobustLoss};
     pub use rl_geom::{Point2, Vec2};
     pub use rl_ranging::measurement::{DirectedSample, MeasurementSet, RangingCampaign};
     pub use rl_signal::env::Environment;

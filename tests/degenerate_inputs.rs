@@ -1,0 +1,111 @@
+//! Degenerate-input resilience: every solver family must fail *with a
+//! structured error* — or return a solution containing only finite
+//! positions — on inputs that break the geometric assumptions the
+//! algorithms lean on. Panics and NaN positions are the two failure
+//! modes these tests forbid:
+//!
+//! * **100% contamination**: every node compromised, every measurement
+//!   `U(0, 60 m)` garbage (the degradation ladder's limit case),
+//! * **zero measurements**: a deployment that produced no ranges at all,
+//! * **collinear anchors**: every anchor on one line, so anchor-based
+//!   position fixes have a reflection ambiguity everywhere.
+
+use resilient_localization::prelude::*;
+use rl_deploy::Scenario;
+use rl_net::RadioModel;
+use rl_ranging::channel::{ChannelStage, RangingChannel};
+
+const RANGE_M: f64 = 22.0;
+
+/// The full six-family panel, freshly boxed (solvers are stateless, but
+/// `Box<dyn Localizer>` is not `Clone`).
+fn panel() -> Vec<Box<dyn Localizer>> {
+    vec![
+        Box::new(LssSolver::new(LssConfig::metro())),
+        Box::new(MultilaterationSolver::new(
+            MultilaterationConfig::paper().progressive(),
+        )),
+        Box::new(DistributedSolver::new(DistributedConfig::metro())),
+        Box::new(MdsMapLocalizer::new()),
+        Box::new(DvHopLocalizer::new(RadioModel::ideal(RANGE_M))),
+        Box::new(CentroidLocalizer::new(RANGE_M)),
+    ]
+}
+
+/// Every family either returns a structured error or a solution whose
+/// localized positions are all finite. Reaching the end of this function
+/// is the assertion: no family panicked, no family emitted NaN.
+fn assert_no_panic_no_nan(problem: &Problem, label: &str) {
+    for solver in panel() {
+        let mut rng = rl_math::rng::seeded(1);
+        match solver.localize(problem, &mut rng) {
+            Ok(solution) => {
+                let positions = solution.positions();
+                for i in 0..problem.node_count() {
+                    if let Some(p) = positions.get(NodeId(i)) {
+                        assert!(
+                            p.x.is_finite() && p.y.is_finite(),
+                            "{} on {label}: node {i} localized at non-finite {p:?}",
+                            solver.name(),
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                // A structured error is the correct way to decline; it
+                // must also render (no panicking Display impls).
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn all_families_survive_total_contamination() {
+    // Every node compromised: every surviving pair is two compromised
+    // endpoints, so the whole measurement set is uniform garbage.
+    let scenario = Scenario::town(3).with_channel(RangingChannel::ideal(RANGE_M).with_stage(
+        ChannelStage::Adversarial {
+            node_fraction: 1.0,
+            corruption_m: 60.0,
+        },
+    ));
+    let problem = scenario.instantiate(3);
+    assert!(!problem.measurements().is_empty(), "garbage is still data");
+    assert_no_panic_no_nan(&problem, "100% contamination");
+}
+
+#[test]
+fn all_families_survive_zero_measurements() {
+    let truth: Vec<Point2> = (0..12)
+        .map(|i| Point2::new((i % 4) as f64 * 9.0, (i / 4) as f64 * 9.0))
+        .collect();
+    let anchors = Anchor::from_truth(&[NodeId(0), NodeId(3), NodeId(5), NodeId(10)], &truth);
+    let problem = Problem::builder(MeasurementSet::new(truth.len()))
+        .name("zero-measurements")
+        .anchors(anchors)
+        .truth(truth)
+        .build()
+        .expect("an empty measurement set is a valid (if hopeless) problem");
+    assert_eq!(problem.measurements().len(), 0);
+    assert_no_panic_no_nan(&problem, "zero measurements");
+}
+
+#[test]
+fn all_families_survive_collinear_anchors() {
+    // A 4x4 grid whose four anchors all sit on the bottom row: every
+    // anchor-based fix has a mirror ambiguity across that line.
+    let truth: Vec<Point2> = (0..16)
+        .map(|i| Point2::new((i % 4) as f64 * 9.0, (i / 4) as f64 * 9.0))
+        .collect();
+    let anchor_ids = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+    let anchors = Anchor::from_truth(&anchor_ids, &truth);
+    let measurements = MeasurementSet::oracle(&truth, 25.0);
+    let problem = Problem::builder(measurements)
+        .name("collinear-anchors")
+        .anchors(anchors)
+        .truth(truth)
+        .build()
+        .expect("collinear anchors are a valid problem");
+    assert_no_panic_no_nan(&problem, "collinear anchors");
+}
