@@ -488,85 +488,62 @@ impl CampaignReport {
     /// each other — regardless of worker count, chunking, or scheduling.
     /// Wall-clock fields and [`CampaignReport::workers`] are excluded.
     pub fn fingerprint(&self) -> u64 {
-        // FNV-1a, stable across platforms and Rust versions (unlike
-        // `DefaultHasher`, which documents no stability guarantee).
-        struct Fnv(u64);
-        impl Fnv {
-            fn eat(&mut self, bytes: &[u8]) {
-                for &b in bytes {
-                    self.0 ^= b as u64;
-                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-                }
-            }
-            fn eat_u64(&mut self, v: u64) {
-                self.eat(&v.to_le_bytes());
-            }
-            fn eat_f64(&mut self, v: f64) {
-                self.eat(&v.to_bits().to_le_bytes());
-            }
-        }
+        // FNV-1a via the shared `rl_math::fingerprint` machinery (stable
+        // across platforms and Rust versions, unlike `DefaultHasher`).
         // Length prefixes and Option discriminant bytes keep the encoding
         // prefix-free: no two distinct reports serialize to the same byte
-        // stream.
-        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        // stream. The byte stream is pinned bit-for-bit by the
+        // `fingerprint_golden` integration tests — historical campaign
+        // fingerprints must never change under refactors.
+        let mut h = rl_math::Fnv1a::new();
         for r in &self.runs {
-            h.eat_u64(r.scenario.len() as u64);
-            h.eat(r.scenario.as_bytes());
-            h.eat_u64(r.localizer.len() as u64);
-            h.eat(r.localizer.as_bytes());
-            h.eat_u64(r.seed);
+            h.write_str(&r.scenario);
+            h.write_str(&r.localizer);
+            h.write_u64(r.seed);
             match &r.outcome {
                 Ok(o) => {
-                    h.eat(&[1, o.solution.frame() as u8]);
+                    h.write(&[1, o.solution.frame() as u8]);
                     let positions = o.solution.positions();
                     for i in 0..positions.len() {
                         match positions.get(rl_core::types::NodeId(i)) {
                             Some(p) => {
-                                h.eat(&[1]);
-                                h.eat_f64(p.x);
-                                h.eat_f64(p.y);
+                                h.write_u8(1);
+                                h.write_f64(p.x);
+                                h.write_f64(p.y);
                             }
-                            None => h.eat(&[0]),
+                            None => h.write_u8(0),
                         }
                     }
                     let stats = o.solution.stats();
-                    h.eat_u64(stats.iterations as u64);
-                    match stats.residual {
-                        Some(res) => {
-                            h.eat(&[1]);
-                            h.eat_f64(res);
-                        }
-                        None => h.eat(&[0]),
-                    }
+                    h.write_u64(stats.iterations as u64);
+                    h.write_opt_f64(stats.residual);
                     match stats.converged {
-                        Some(c) => h.eat(&[1, c as u8]),
-                        None => h.eat(&[0]),
+                        Some(c) => h.write(&[1, c as u8]),
+                        None => h.write_u8(0),
                     }
                     match &o.evaluation {
                         Some(e) => {
-                            h.eat(&[1]);
-                            h.eat_u64(e.localized as u64);
-                            h.eat_u64(e.total as u64);
-                            h.eat_f64(e.mean_error);
-                            h.eat_f64(e.max_error);
-                            h.eat_u64(e.per_node.len() as u64);
+                            h.write_u8(1);
+                            h.write_u64(e.localized as u64);
+                            h.write_u64(e.total as u64);
+                            h.write_f64(e.mean_error);
+                            h.write_f64(e.max_error);
+                            h.write_u64(e.per_node.len() as u64);
                             for &(id, err) in &e.per_node {
-                                h.eat_u64(id.index() as u64);
-                                h.eat_f64(err);
+                                h.write_u64(id.index() as u64);
+                                h.write_f64(err);
                             }
                         }
-                        None => h.eat(&[0]),
+                        None => h.write_u8(0),
                     }
                 }
                 Err(e) => {
-                    h.eat(&[0]);
-                    let msg = e.to_string();
-                    h.eat_u64(msg.len() as u64);
-                    h.eat(msg.as_bytes());
+                    h.write_u8(0);
+                    h.write_str(&e.to_string());
                 }
             }
         }
-        h.0
+        h.finish()
     }
 
     /// The per-cell summary table: runs, solver failures, mean localized

@@ -17,7 +17,9 @@
 //! * [`anchors`] — anchor selection strategies,
 //! * [`synth`] — synthetic measurement generation and augmentation,
 //! * [`scenario`] — the named paper scenarios (plus metro-scale
-//!   extensions) used by the benchmark harness.
+//!   extensions) used by the benchmark harness,
+//! * [`presets`] — the fixed-seed serveable preset registry the
+//!   `rl-serve` server resolves client deployment names against.
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@
 pub mod anchors;
 pub mod grid;
 pub mod metro;
+pub mod presets;
 pub mod random;
 pub mod scenario;
 pub mod synth;

@@ -1,0 +1,201 @@
+//! Stable FNV-1a fingerprinting shared by the reporting and serving
+//! layers.
+//!
+//! Several subsystems need a cheap digest that is **stable across
+//! platforms, Rust versions, and process runs** (unlike
+//! `std::hash::DefaultHasher`, which documents no such guarantee):
+//!
+//! * [`CampaignReport::fingerprint`](../../rl_bench/campaign/struct.CampaignReport.html)
+//!   digests an entire campaign so serial and pooled schedules can be
+//!   asserted bit-identical,
+//! * the `rl-serve` solution cache keys cached solves on a fingerprint
+//!   of the (deployment, solver config, seed) triple, and a stale or
+//!   colliding encoding would hand the wrong positions to a client.
+//!
+//! The primitive is 64-bit FNV-1a. The higher-level writers keep the
+//! encoded byte stream **prefix-free** — every variable-length field is
+//! length-prefixed ([`Fnv1a::write_str`], [`Fnv1a::write_bytes`]) and
+//! every optional field carries a one-byte discriminant
+//! ([`Fnv1a::write_opt_f64`]) — so no two distinct logical records feed
+//! the hash the same bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use rl_math::fingerprint::Fnv1a;
+//!
+//! let mut a = Fnv1a::new();
+//! a.write_str("town");
+//! a.write_u64(7);
+//! let mut b = Fnv1a::new();
+//! b.write_str("town");
+//! b.write_u64(8);
+//! assert_ne!(a.finish(), b.finish());
+//!
+//! // Raw digest of a byte slice in one call.
+//! assert_eq!(Fnv1a::digest(b"abc"), {
+//!     let mut h = Fnv1a::new();
+//!     h.write(b"abc");
+//!     h.finish()
+//! });
+//! ```
+
+/// The FNV-1a 64-bit offset basis.
+pub const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// An incremental 64-bit FNV-1a hasher with typed, prefix-free writers.
+///
+/// [`Fnv1a::write`] is the raw primitive (no framing); the typed writers
+/// add the length prefixes and discriminant bytes that keep composite
+/// encodings unambiguous.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(OFFSET_BASIS)
+    }
+
+    /// One-shot digest of a raw byte slice.
+    pub fn digest(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(bytes);
+        h.finish()
+    }
+
+    /// Feeds raw bytes with **no framing**. Composite encodings should
+    /// prefer the typed writers, which keep the stream prefix-free.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Feeds a `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` as the little-endian bytes of its bit pattern, so
+    /// the digest is sensitive to any single-bit change (including the
+    /// sign of zero and NaN payloads).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// Feeds a length-prefixed byte slice (prefix-free framing).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write(bytes);
+    }
+
+    /// Feeds a length-prefixed UTF-8 string (prefix-free framing).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds an optional `f64` behind a one-byte discriminant
+    /// (`0` = absent, `1` + bits = present).
+    pub fn write_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.write_u8(1);
+                self.write_f64(x);
+            }
+            None => self.write_u8(0),
+        }
+    }
+
+    /// The current digest. The hasher stays usable; `finish` is a
+    /// read-out, not a terminator.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_byte_loop() {
+        // The exact loop this module replaced (rl-bench's inline FNV and
+        // the robust-parity test helpers): byte-for-byte identical.
+        let reference = |bytes: &[u8]| -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        };
+        for bytes in [&b""[..], b"a", b"resilient", &[0xFF, 0x00, 0x7F]] {
+            assert_eq!(Fnv1a::digest(bytes), reference(bytes));
+        }
+    }
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(Fnv1a::digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::digest(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn typed_writers_compose_the_expected_stream() {
+        let mut typed = Fnv1a::new();
+        typed.write_str("ab");
+        typed.write_u64(7);
+        typed.write_f64(1.5);
+        typed.write_opt_f64(None);
+        typed.write_opt_f64(Some(-0.0));
+
+        let mut raw = Fnv1a::new();
+        raw.write(&2u64.to_le_bytes());
+        raw.write(b"ab");
+        raw.write(&7u64.to_le_bytes());
+        raw.write(&1.5f64.to_bits().to_le_bytes());
+        raw.write(&[0]);
+        raw.write(&[1]);
+        raw.write(&(-0.0f64).to_bits().to_le_bytes());
+        assert_eq!(typed.finish(), raw.finish());
+    }
+
+    #[test]
+    fn framing_is_prefix_free() {
+        // Without length prefixes these two would collide.
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_digest_is_bit_sensitive() {
+        let mut plus = Fnv1a::new();
+        plus.write_f64(0.0);
+        let mut minus = Fnv1a::new();
+        minus.write_f64(-0.0);
+        assert_ne!(plus.finish(), minus.finish());
+    }
+}

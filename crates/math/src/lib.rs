@@ -19,6 +19,9 @@
 //!   scaling (LSS) and multilateration,
 //! * [`loss`] — robust loss kernels ([`RobustLoss`]: squared-L2, Huber,
 //!   Cauchy) shared by every IRLS stage in the solving layers,
+//! * [`fingerprint`] — stable FNV-1a digests ([`Fnv1a`]) with prefix-free
+//!   typed writers, shared by campaign reports and the serving layer's
+//!   solution cache,
 //! * [`sparse`] — the large-`n` backend: CSR matrices ([`CsrMatrix`]),
 //!   the matrix-free [`LinearOperator`] abstraction, a conjugate-gradient
 //!   solver, a shifted subspace-iteration top-`k` symmetric eigensolver,
@@ -39,6 +42,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod eigen;
+pub mod fingerprint;
 pub mod gradient;
 pub mod loss;
 pub mod matrix;
@@ -47,6 +51,7 @@ pub mod sparse;
 pub mod stats;
 
 pub use eigen::SymmetricEigen;
+pub use fingerprint::Fnv1a;
 pub use gradient::{DescentConfig, DescentOutcome, DescentTrace, Objective};
 pub use loss::RobustLoss;
 pub use matrix::DMatrix;

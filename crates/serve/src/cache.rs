@@ -1,0 +1,136 @@
+//! A small least-recently-used cache for solved requests.
+//!
+//! The serving layer keys cached [`LocalizeReply`](crate::protocol::LocalizeReply)s
+//! on a problem/config fingerprint ([`rl_math::fingerprint`]), so a
+//! repeat of any `(deployment, solver, seed)` triple is answered without
+//! touching a solver. The cache is deliberately simple — a `HashMap`
+//! plus a recency deque, `O(capacity)` on promotion — because serving
+//! capacities are a few hundred entries and the alternative (an
+//! intrusive linked list) buys nothing measurable at that size.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// A fixed-capacity LRU map. Inserting into a full cache evicts the
+/// least-recently-used entry; `get` counts as a use.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    capacity: usize,
+    map: HashMap<K, V>,
+    /// Recency order: front is least-, back is most-recently used.
+    order: VecDeque<K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity (a cache that can hold nothing is a
+    /// configuration error, not a useful degenerate case).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if !self.map.contains_key(key) {
+            return None;
+        }
+        self.promote(key);
+        self.map.get(key)
+    }
+
+    /// Inserts `key -> value`, evicting the least-recently-used entry if
+    /// the cache is full and `key` is new. Returns the evicted entry,
+    /// if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.map.insert(key.clone(), value).is_some() {
+            self.promote(&key);
+            return None;
+        }
+        self.order.push_back(key);
+        if self.map.len() > self.capacity {
+            let lru = self.order.pop_front().expect("order tracks map");
+            let value = self.map.remove(&lru).expect("order tracks map");
+            return Some((lru, value));
+        }
+        None
+    }
+
+    fn promote(&mut self, key: &K) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert!(c.insert(1, "a").is_none());
+        assert!(c.insert(2, "b").is_none());
+        // Touch 1, making 2 the LRU.
+        assert_eq!(c.get(&1), Some(&"a"));
+        let evicted = c.insert(3, "c");
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert!(c.insert(1, "a2").is_none());
+        assert_eq!(c.len(), 2);
+        // 2 became LRU after 1's reinsert-promotion.
+        assert_eq!(c.insert(3, "c"), Some((2, "b")));
+        assert_eq!(c.get(&1), Some(&"a2"));
+    }
+
+    #[test]
+    fn capacity_one_behaves() {
+        let mut c = LruCache::new(1);
+        assert!(c.is_empty());
+        c.insert(1, 10);
+        assert_eq!(c.insert(2, 20), Some((1, 10)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 1);
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::<u64, ()>::new(0);
+    }
+}

@@ -1,0 +1,205 @@
+//! A blocking client for the `rl-serve` wire protocol.
+//!
+//! [`Client::connect`] opens the TCP connection and performs the
+//! version handshake ([`Request::Hello`]); after that the connection is
+//! a strict request/response loop, so one `Client` serves one thread.
+//! Open several clients for concurrency — the server coalesces and
+//! caches across connections, not per connection.
+//!
+//! ```no_run
+//! use rl_serve::client::Client;
+//!
+//! let mut client = Client::connect("127.0.0.1:4105")?;
+//! let reply = client.localize("town", "lss", 7)?;
+//! println!("localized {} of {} nodes", reply.localized, reply.positions.len());
+//! # Ok::<(), rl_serve::client::ClientError>(())
+//! ```
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::protocol::{
+    self, FrameError, LocalizeReply, Request, Response, ServerStats, WireError, PROTOCOL_VERSION,
+};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or a frame the client
+    /// refused to send/accept because it exceeded the size limit).
+    Io(io::Error),
+    /// The server replied with something the protocol does not allow at
+    /// this point in the conversation (e.g. a `Status` response to a
+    /// `Localize` request), or with bytes that do not decode.
+    Protocol(String),
+    /// The server replied with a typed [`WireError`].
+    Server(WireError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::TooLarge { declared, max } => ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{declared}-byte frame exceeds the {max}-byte limit"),
+            )),
+        }
+    }
+}
+
+/// A connected, handshaken client. See the module docs.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+    /// The server identification string from the handshake, e.g.
+    /// `"rl-serve/0.1.0"`.
+    pub server: String,
+}
+
+impl Client {
+    /// Connects and performs the protocol-version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Server`] when the server
+    /// rejects this client's protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Strict request/response with small frames: Nagle only adds
+        // latency here.
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            stream,
+            max_frame: protocol::DEFAULT_MAX_FRAME,
+            server: String::new(),
+        };
+        match client.roundtrip(&Request::Hello {
+            protocol: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { server, .. } => {
+                client.server = server;
+                Ok(client)
+            }
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sets a read timeout for replies (`None` blocks indefinitely,
+    /// the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_reply_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads the raw response payload bytes (the
+    /// JSON inside the frame, undecoded). The integration tests use
+    /// this to assert cached responses are **byte-identical** to cold
+    /// ones.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a clean server-side close before the
+    /// reply.
+    pub fn request_raw<T: Serialize>(&mut self, request: &T) -> Result<Vec<u8>, ClientError> {
+        protocol::send(&mut self.stream, request, self.max_frame)?;
+        match protocol::read_frame(&mut self.stream, self.max_frame)? {
+            Some(payload) => Ok(payload),
+            None => Err(ClientError::Protocol(
+                "server closed the connection before replying".into(),
+            )),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = self.request_raw(request)?;
+        protocol::decode(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// Localizes `deployment` with `solver` under `seed`. Deterministic:
+    /// the reply is bit-identical to [`crate::server::solve_direct`] for
+    /// the same triple, whether it was solved, coalesced, or cached.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors (unknown deployment or
+    /// solver, failed solve, shutdown), or protocol violations.
+    pub fn localize(
+        &mut self,
+        deployment: &str,
+        solver: &str,
+        seed: u64,
+    ) -> Result<LocalizeReply, ClientError> {
+        match self.roundtrip(&Request::Localize {
+            deployment: deployment.to_string(),
+            solver: solver.to_string(),
+            seed,
+        })? {
+            Response::Localized(reply) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Localized, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's counters and registry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors, or protocol violations.
+    pub fn status(&mut self) -> Result<ServerStats, ClientError> {
+        match self.roundtrip(&Request::Status)? {
+            Response::Status(stats) => Ok(stats),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Status, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (drain in-flight solves,
+    /// then exit its accept loop). Returns once the server acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors, or protocol violations.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShuttingDown, got {other:?}"
+            ))),
+        }
+    }
+}

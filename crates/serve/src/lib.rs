@@ -1,0 +1,62 @@
+//! Localization-as-a-service: a long-lived server for the resilient
+//! localization stack.
+//!
+//! The paper's pipeline solves one problem and exits; a deployed
+//! positioning service answers a *stream* of localization queries
+//! against a fixed set of instantiated deployments. This crate provides
+//! that serving layer, std-only (no async runtime, no network crates —
+//! `std::net` and threads), with three production behaviors:
+//!
+//! * **Concurrency** — a fixed worker pool drains a shared solve queue
+//!   ([`server`]).
+//! * **Batching** — concurrent identical requests coalesce into one
+//!   shared solve whose result fans out to every waiter.
+//! * **Caching** — completed solutions land in an LRU keyed by a
+//!   problem/config fingerprint ([`cache`]), and a cached response is
+//!   **bit-identical** to the cold one.
+//!
+//! Modules:
+//!
+//! * [`protocol`] — the wire protocol: length-prefixed JSON frames,
+//!   request/response schemas, versioning, typed errors,
+//! * [`server`] — [`Server`], the worker pool, coalescing, and the
+//!   graceful lifecycle,
+//! * [`client`] — [`Client`], a blocking handshaken client,
+//! * [`cache`] — the LRU solution cache.
+//!
+//! # Example
+//!
+//! Serve on an ephemeral port, localize the paper's parking lot, and
+//! shut the server down:
+//!
+//! ```
+//! use rl_serve::{Client, ServeConfig, Server};
+//!
+//! let (addr, handle) = Server::spawn(ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(addr).unwrap();
+//!
+//! let reply = client.localize("parking-lot", "multilateration", 7).unwrap();
+//! assert_eq!(reply.positions.len(), 15);
+//! assert!(reply.localized > 0);
+//!
+//! // Bit-identical to the in-process solve of the same triple.
+//! let direct = rl_serve::server::solve_direct("parking-lot", "multilateration", 7).unwrap();
+//! assert_eq!(reply, direct);
+//!
+//! client.shutdown().unwrap();
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    ErrorCode, LocalizeReply, Request, Response, ServerStats, WireError, PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server};

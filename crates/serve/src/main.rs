@@ -1,0 +1,62 @@
+//! The `rl-serve` server binary.
+//!
+//! ```text
+//! rl-serve [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:4105`), prints the serveable deployment and
+//! solver registries, and serves until a client sends a `Shutdown`
+//! request.
+
+use std::process::ExitCode;
+
+use rl_serve::server::SOLVER_NAMES;
+use rl_serve::{ServeConfig, Server};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rl-serve [--addr HOST:PORT] [--workers N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = ServeConfig::default().with_addr("127.0.0.1:4105");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config = config.with_addr(addr),
+                None => return usage(),
+            },
+            "--workers" => match args.next().and_then(|w| w.parse().ok()) {
+                Some(workers) => config = config.with_workers(workers),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: rl-serve [--addr HOST:PORT] [--workers N]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("rl-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("rl-serve listening on {}", server.local_addr());
+    println!("deployments: {}", rl_deploy::presets::NAMES.join(", "));
+    println!("solvers:     {}", SOLVER_NAMES.join(", "));
+    match server.run() {
+        Ok(()) => {
+            println!("rl-serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rl-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

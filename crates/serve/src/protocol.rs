@@ -1,0 +1,485 @@
+//! The wire protocol: length-prefixed `serde_json` frames over TCP.
+//!
+//! # Frame format
+//!
+//! Every message — in either direction — is one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | length: u32 BE | payload: `length` bytes   |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The payload is the UTF-8 JSON encoding (via the vendored `serde_json`
+//! shim) of one [`Request`] or [`Response`]. The length prefix counts
+//! payload bytes only. Frames larger than the receiver's configured
+//! maximum ([`DEFAULT_MAX_FRAME`] by default) are rejected with
+//! [`ErrorCode::FrameTooLarge`]; because an oversized declaration leaves
+//! the byte stream unsynchronized, the connection is closed after the
+//! error response. A frame whose payload is not valid JSON for the
+//! expected type is rejected with [`ErrorCode::MalformedFrame`] — the
+//! frame boundary itself was still intact, so the connection stays open.
+//!
+//! # Conversation shape
+//!
+//! The protocol is strict request/response: a client sends one frame and
+//! reads one frame back; there is no pipelining and the server never
+//! pushes unsolicited frames. A connection serves any number of
+//! requests.
+//!
+//! # Versioning
+//!
+//! Clients should open with [`Request::Hello`] carrying
+//! [`PROTOCOL_VERSION`]; the server answers [`Response::Hello`] with its
+//! own version, or [`ErrorCode::UnsupportedProtocol`] on a mismatch.
+//! The version is bumped whenever an existing field or variant changes
+//! meaning; purely additive variants keep the version (unknown variants
+//! already fail closed as [`ErrorCode::MalformedFrame`]).
+//!
+//! # Determinism
+//!
+//! [`LocalizeReply`] deliberately carries only *deterministic* solve
+//! content — positions, iteration counts, convergence, the server-side
+//! evaluation — and no wall-clock or delivery metadata (whether the
+//! response was served from cache, coalesced into a shared solve, or
+//! solved cold is observable only through [`Request::Status`] counters).
+//! This is what makes the cache contract testable at the byte level: the
+//! response frame for a cached solve is **bit-identical** to the frame
+//! the cold solve produced, because the vendored `serde_json` shim
+//! round-trips every finite `f64` exactly.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// Current protocol version. See the module docs for the bump policy.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default maximum frame size (1 MiB): comfortably above a metro-1000
+/// [`LocalizeReply`] (~50 KiB), far below anything a hostile or confused
+/// peer could use to balloon server memory.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Version handshake; answered by [`Response::Hello`].
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Localize a preset deployment: answered by [`Response::Localized`]
+    /// (possibly from cache or a coalesced shared solve) or a typed
+    /// error.
+    Localize {
+        /// Preset deployment name (see `rl_deploy::presets`).
+        deployment: String,
+        /// Solver registry name, e.g. `"lss"` or `"mds-map"`.
+        solver: String,
+        /// Measurement-instantiation seed; the same
+        /// `(deployment, solver, seed)` triple always yields the same
+        /// reply, bit for bit.
+        seed: u64,
+    },
+    /// Server statistics snapshot; answered by [`Response::Status`].
+    Status,
+    /// Graceful shutdown: the server finishes in-flight solves, answers
+    /// [`Response::ShuttingDown`], and stops accepting connections.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake answer.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// Human-readable server identifier.
+        server: String,
+    },
+    /// A completed localize request.
+    Localized(LocalizeReply),
+    /// A statistics snapshot.
+    Status(ServerStats),
+    /// Acknowledges [`Request::Shutdown`]; the connection closes after
+    /// this frame.
+    ShuttingDown,
+    /// A typed failure; the connection stays open unless the error is a
+    /// framing-level one ([`ErrorCode::FrameTooLarge`]).
+    Error(WireError),
+}
+
+/// The deterministic payload of a completed localize request.
+///
+/// Coordinates are finite `f64`s (the server refuses to serialize
+/// non-finite positions — see [`ErrorCode::SolveFailed`]), so the JSON
+/// encoding round-trips every coordinate bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalizeReply {
+    /// Echo of the requested deployment preset.
+    pub deployment: String,
+    /// Echo of the requested solver.
+    pub solver: String,
+    /// Echo of the request seed.
+    pub seed: u64,
+    /// `"absolute"` or `"relative"` — the coordinate frame of
+    /// `positions` (see `rl_core::problem::Frame`).
+    pub frame: String,
+    /// Estimated position per node id; `None` for unlocalized nodes.
+    pub positions: Vec<Option<(f64, f64)>>,
+    /// Solver work counter (descent iterations, protocol messages, …).
+    pub iterations: u64,
+    /// Final objective value, when the solver reports one.
+    pub residual: Option<f64>,
+    /// Whether the solver reached its convergence criterion, when it has
+    /// one.
+    pub converged: Option<bool>,
+    /// Server-side mean localization error against the preset's ground
+    /// truth, in meters (anchors excluded).
+    pub mean_error_m: Option<f64>,
+    /// Nodes with a position estimate, out of `positions.len()`.
+    pub localized: u64,
+}
+
+/// Server counters reported by [`Response::Status`].
+///
+/// Counters are cumulative since server start and monotone; the
+/// cache/batching tests read them as deltas around a request burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// The server's [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Solver worker-pool size.
+    pub workers: u64,
+    /// Names of the serveable deployment presets.
+    pub deployments: Vec<String>,
+    /// Total localize requests accepted (cache hits and coalesced
+    /// requests included).
+    pub requests: u64,
+    /// Localize requests answered straight from the solution cache.
+    pub cache_hits: u64,
+    /// Localize requests that joined an already-in-flight identical
+    /// solve instead of enqueueing their own.
+    pub coalesced: u64,
+    /// Solves picked up by a worker.
+    pub solves_started: u64,
+    /// Solves completed by a worker (each may have fanned out to many
+    /// coalesced waiters).
+    pub solves: u64,
+    /// Typed error responses sent.
+    pub errors: u64,
+    /// Entries currently in the solution cache.
+    pub cache_entries: u64,
+    /// Solution-cache capacity.
+    pub cache_capacity: u64,
+}
+
+/// A typed error response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable context.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Machine-readable error classes. All are terminal for the *request*;
+/// only [`ErrorCode::FrameTooLarge`] is terminal for the *connection*
+/// (the byte stream is unsynchronized past an oversized declaration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The frame's payload was not valid JSON for a known [`Request`].
+    MalformedFrame,
+    /// The frame's declared length exceeded the receiver's maximum.
+    FrameTooLarge,
+    /// [`Request::Hello`] carried an incompatible protocol version.
+    UnsupportedProtocol,
+    /// [`Request::Localize`] named a deployment outside the preset
+    /// registry.
+    UnknownDeployment,
+    /// [`Request::Localize`] named a solver outside the registry.
+    UnknownSolver,
+    /// The solver returned an error, or produced positions that cannot
+    /// be represented on the wire (non-finite coordinates).
+    SolveFailed,
+    /// The server is shutting down and no longer accepts localize
+    /// requests.
+    ShuttingDown,
+}
+
+/// Frame-level read failures (transport, not application, errors).
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The declared payload length exceeds the configured maximum.
+    TooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// The receiver's maximum.
+        max: usize,
+    },
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds the {max}-byte maximum"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: 4-byte big-endian length prefix, then the payload.
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the payload exceeds `max` (nothing is
+/// written), or the underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], max: usize) -> Result<(), FrameError> {
+    if payload.len() > max {
+        return Err(FrameError::TooLarge {
+            declared: payload.len(),
+            max,
+        });
+    }
+    // One write for prefix + payload: splitting them into two small
+    // segments interacts with Nagle + delayed ACK into ~40 ms stalls.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame with blocking I/O. Returns `Ok(None)` on a clean EOF
+/// *before* the first prefix byte (the peer closed between frames).
+///
+/// # Errors
+///
+/// [`FrameError::TooLarge`] when the declared length exceeds `max` (the
+/// stream is left unsynchronized — close it), or the underlying I/O
+/// error (including `UnexpectedEof` for a connection dropped
+/// mid-frame).
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        let n = r.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-prefix",
+            )
+            .into());
+        }
+        filled += n;
+    }
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Serializes a message and writes it as one frame.
+///
+/// # Errors
+///
+/// See [`write_frame`]; serialization itself cannot fail for the
+/// protocol types.
+pub fn send<W: Write, T: Serialize>(w: &mut W, message: &T, max: usize) -> Result<(), FrameError> {
+    let json = serde_json::to_string(message)
+        .expect("protocol types serialize infallibly through the shim");
+    write_frame(w, json.as_bytes(), max)
+}
+
+/// Decodes a frame payload into a message, mapping JSON/shape failures
+/// to a human-readable string (the caller turns it into
+/// [`ErrorCode::MalformedFrame`]).
+///
+/// # Errors
+///
+/// A description of the decode failure: invalid UTF-8, invalid JSON, or
+/// a JSON value of the wrong shape.
+pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| format!("payload is not a valid message: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        // Clean EOF between frames reads as None.
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_on_both_sides() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &[0u8; 32], 16),
+            Err(FrameError::TooLarge {
+                declared: 32,
+                max: 16
+            })
+        ));
+        assert!(buf.is_empty(), "nothing written for an oversized frame");
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&1024u32.to_be_bytes());
+        wire.extend_from_slice(&[0u8; 1024]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire), 16),
+            Err(FrameError::TooLarge {
+                declared: 1024,
+                max: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_error_not_hang() {
+        // Mid-prefix cut.
+        let mut r = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+        // Mid-payload cut.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_be_bytes());
+        wire.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(wire), DEFAULT_MAX_FRAME),
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_json() {
+        let requests = [
+            Request::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+            Request::Localize {
+                deployment: "town".into(),
+                solver: "lss".into(),
+                seed: 7,
+            },
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            let json = serde_json::to_string(req).unwrap();
+            assert_eq!(&serde_json::from_str::<Request>(&json).unwrap(), req);
+        }
+        let reply = Response::Localized(LocalizeReply {
+            deployment: "town".into(),
+            solver: "lss".into(),
+            seed: 7,
+            frame: "relative".into(),
+            positions: vec![Some((1.25, -0.5)), None],
+            iterations: 42,
+            residual: Some(0.125),
+            converged: Some(true),
+            mean_error_m: Some(0.75),
+            localized: 1,
+        });
+        let json = serde_json::to_string(&reply).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), reply);
+        let err = Response::Error(WireError::new(ErrorCode::UnknownSolver, "no such solver"));
+        let json = serde_json::to_string(&err).unwrap();
+        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), err);
+    }
+
+    #[test]
+    fn reply_coordinates_round_trip_bit_exactly() {
+        // The cache contract leans on exact f64 text round-trips.
+        let coords = [
+            (0.1, 1.0 / 3.0),
+            (core::f64::consts::PI, -0.0),
+            (5e-324, 1e300),
+        ];
+        let reply = LocalizeReply {
+            deployment: "d".into(),
+            solver: "s".into(),
+            seed: 1,
+            frame: "absolute".into(),
+            positions: coords.iter().map(|&p| Some(p)).collect(),
+            iterations: 0,
+            residual: None,
+            converged: None,
+            mean_error_m: None,
+            localized: coords.len() as u64,
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        let back: LocalizeReply = serde_json::from_str(&json).unwrap();
+        for (a, b) in reply.positions.iter().zip(&back.positions) {
+            let (a, b) = (a.unwrap(), b.unwrap());
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_reports_malformed_payloads() {
+        assert!(decode::<Request>(b"not json").is_err());
+        assert!(decode::<Request>(&[0xFF, 0xFE]).is_err());
+        assert!(decode::<Request>(br#"{"NoSuchVariant":{}}"#).is_err());
+    }
+}

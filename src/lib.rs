@@ -21,6 +21,7 @@
 //! | [`deploy`] | `rl-deploy` | deployments, anchors, synthetic measurements, scenarios |
 //! | [`localization`] | `rl-core` | multilateration, LSS, distributed LSS, MDS, `Problem`/`Localizer` |
 //! | [`bench`](mod@bench) | `rl-bench` | campaign runner, experiment harness, figure reproductions |
+//! | [`serve`] | `rl-serve` | TCP localization server: worker pool, request batching, solution cache |
 //!
 //! # Quickstart
 //!
@@ -80,6 +81,7 @@ pub use rl_geom as geom;
 pub use rl_math as math;
 pub use rl_net as net;
 pub use rl_ranging as ranging;
+pub use rl_serve as serve;
 pub use rl_signal as signal;
 
 /// Commonly used items, importable with one `use`.
@@ -101,5 +103,6 @@ pub mod prelude {
     pub use rl_core::{LocalizationError, Result, RobustLoss};
     pub use rl_geom::{Point2, Vec2};
     pub use rl_ranging::measurement::{DirectedSample, MeasurementSet, RangingCampaign};
+    pub use rl_serve::{Client, ServeConfig, Server};
     pub use rl_signal::env::Environment;
 }

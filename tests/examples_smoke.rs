@@ -60,3 +60,8 @@ fn city_blocks_runs_and_prints_finite_output() {
 fn compare_solvers_runs_and_prints_finite_output() {
     run_example("compare_solvers");
 }
+
+#[test]
+fn serve_client_runs_and_prints_finite_output() {
+    run_example("serve_client");
+}
