@@ -131,6 +131,11 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
         experiments::degradation::degradation_ladder,
     ),
     (
+        "TRACKING",
+        "warm-started tracking vs cold re-solve, mobility streams",
+        experiments::tracking::tracking_stream,
+    ),
+    (
         "ABL-FILTER",
         "median vs mode vs none",
         experiments::ranging::filter_ablation,

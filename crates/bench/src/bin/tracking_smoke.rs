@@ -1,0 +1,227 @@
+//! Release-mode smoke test and perf gate for the tracking layer; run by
+//! CI.
+//!
+//! ```text
+//! cargo run --release -p rl-bench --bin tracking_smoke
+//! ```
+//!
+//! Drives the warm-started [`StreamingTracker`] and a forced-cold
+//! reference over the same metro-250 mobility trace (identical per-tick
+//! cold seeds), then enforces four budgets:
+//!
+//! 1. warm-started updates run at least [`SPEEDUP_FLOOR`]× faster than
+//!    the per-tick cold re-solve (mean wall over warm ticks vs mean wall
+//!    over cold ticks) — the whole point of the tracking layer,
+//! 2. the warm stream's mean error stays within [`ERROR_FACTOR`]× of
+//!    the cold stream's — speed must not be bought with drift,
+//! 3. tracker replay is **bit-identical across worker counts**: the
+//!    distributed-LSS cold engine at 1 and 2 workers produces the same
+//!    per-tick solution fingerprints on a town-scale stream,
+//! 4. the whole run finishes inside [`WALL_BUDGET`].
+//!
+//! Per-tick wall/error trajectories are written to
+//! `BENCH_tracking.json` (machine-readable, uploaded as a CI artifact).
+
+use std::time::{Duration, Instant};
+
+use rl_bench::experiments::tracking::{run_stream, warm_vs_cold, StreamRun, ALWAYS_COLD};
+use rl_bench::MASTER_SEED;
+use rl_core::distributed::{DistributedConfig, DistributedSolver};
+use rl_core::tracking::{StreamingTracker, TrackerConfig};
+use rl_deploy::mobility::MobilityScenario;
+use serde::Serialize;
+
+/// Hard end-to-end budget for the whole smoke run.
+const WALL_BUDGET: Duration = Duration::from_secs(300);
+
+/// Warm ticks must be at least this many times faster than cold
+/// re-solves at metro-250.
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+/// The warm stream's mean error may exceed the cold stream's by at most
+/// this factor.
+const ERROR_FACTOR: f64 = 1.25;
+
+/// Metro-250 trace length. Long enough that the warm path dominates the
+/// mean, short enough that the cold arm (a full batch LSS per tick)
+/// stays inside the wall budget.
+const METRO_TICKS: usize = 10;
+
+/// Town-scale replay trace length for the worker-count gate (every tick
+/// is a cold distributed solve, the expensive arm).
+const REPLAY_TICKS: usize = 3;
+
+/// One per-tick row of `BENCH_tracking.json`.
+#[derive(Debug, Serialize)]
+struct TickRecord {
+    tick: usize,
+    warm: bool,
+    wall_ms: f64,
+    mean_error_m: f64,
+    fingerprint: String,
+}
+
+/// One stream's rows plus its aggregates.
+#[derive(Debug, Serialize)]
+struct StreamRecord {
+    stream: String,
+    ticks: usize,
+    warm_updates: u64,
+    cold_solves: u64,
+    mean_warm_tick_ms: Option<f64>,
+    mean_cold_tick_ms: Option<f64>,
+    mean_error_m: f64,
+    per_tick: Vec<TickRecord>,
+}
+
+/// The `BENCH_tracking.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    seed: u64,
+    speedup_floor: f64,
+    error_factor: f64,
+    wall_budget_ms: f64,
+    speedup: f64,
+    error_ratio: f64,
+    replay_identical: bool,
+    total_wall_ms: f64,
+    streams: Vec<StreamRecord>,
+}
+
+fn stream_record(label: &str, run: &StreamRun) -> StreamRecord {
+    StreamRecord {
+        stream: label.to_string(),
+        ticks: run.ticks,
+        warm_updates: run.warm_updates,
+        cold_solves: run.cold_solves,
+        mean_warm_tick_ms: run.mean_wall(true).map(|d| d.as_secs_f64() * 1e3),
+        mean_cold_tick_ms: run.mean_wall(false).map(|d| d.as_secs_f64() * 1e3),
+        mean_error_m: run.mean_error(),
+        per_tick: (0..run.ticks)
+            .map(|t| TickRecord {
+                tick: t,
+                warm: run.warm[t],
+                wall_ms: run.wall[t].as_secs_f64() * 1e3,
+                mean_error_m: run.error_m[t],
+                fingerprint: format!("{:#018x}", run.fingerprints[t]),
+            })
+            .collect(),
+    }
+}
+
+/// The worker-count replay gate: a forced-cold tracker whose cold engine
+/// is distributed LSS (the solver whose internals shard across a worker
+/// pool) must emit bit-identical per-tick fingerprints at 1 and 2
+/// workers.
+fn replay_fingerprints(workers: usize) -> Vec<u64> {
+    let scenario = MobilityScenario::town(MASTER_SEED).with_ticks(REPLAY_TICKS);
+    let trace = scenario.trace(MASTER_SEED);
+    let cold = DistributedSolver::new(DistributedConfig::metro().with_workers(workers));
+    let mut tracker = StreamingTracker::new(
+        TrackerConfig::new(MASTER_SEED).with_churn_restart_fraction(ALWAYS_COLD),
+        Box::new(cold),
+    );
+    run_stream(&mut tracker, &trace).fingerprints
+}
+
+fn main() {
+    let started = Instant::now();
+
+    let scenario = MobilityScenario::metro_250(MASTER_SEED).with_ticks(METRO_TICKS);
+    let (warm, cold) = warm_vs_cold(&scenario, MASTER_SEED);
+
+    let warm_tick = warm
+        .mean_wall(true)
+        .expect("warm stream has warm ticks")
+        .as_secs_f64();
+    let cold_tick = cold
+        .mean_wall(false)
+        .expect("cold stream has cold ticks")
+        .as_secs_f64();
+    let speedup = cold_tick / warm_tick.max(1e-9);
+    let error_ratio = warm.mean_error() / cold.mean_error().max(1e-9);
+
+    println!(
+        "metro-250 stream ({METRO_TICKS} ticks): warm {:.2} ms/tick ({} warm, {} cold), cold \
+         re-solve {:.2} ms/tick => {speedup:.1}x; error warm {:.3} m vs cold {:.3} m \
+         ({error_ratio:.2}x)",
+        warm_tick * 1e3,
+        warm.warm_updates,
+        warm.cold_solves,
+        cold_tick * 1e3,
+        warm.mean_error(),
+        cold.mean_error(),
+    );
+
+    let mut failed = false;
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!(
+            "SPEEDUP FLOOR MISSED: warm ticks are only {speedup:.2}x faster than cold re-solves \
+             (floor {SPEEDUP_FLOOR}x) — the warm path is doing cold-solve work"
+        );
+        failed = true;
+    }
+    if !error_ratio.is_finite() || error_ratio > ERROR_FACTOR {
+        eprintln!(
+            "ERROR FACTOR EXCEEDED: warm mean error is {error_ratio:.3}x the cold re-solve \
+             (budget {ERROR_FACTOR}x) — the warm seed is drifting"
+        );
+        failed = true;
+    }
+
+    let replay_1 = replay_fingerprints(1);
+    let replay_2 = replay_fingerprints(2);
+    let replay_identical = replay_1 == replay_2;
+    if replay_identical {
+        println!(
+            "replay gate: {} town ticks bit-identical at 1 and 2 workers (tick 0 {:#018x})",
+            replay_1.len(),
+            replay_1[0],
+        );
+    } else {
+        eprintln!(
+            "REPLAY DIVERGED ACROSS WORKER COUNTS: {replay_1:#018x?} (1 worker) vs \
+             {replay_2:#018x?} (2 workers) — a scheduling dependency has crept into the \
+             tracking or distributed layer"
+        );
+        failed = true;
+    }
+
+    let elapsed = started.elapsed();
+    if elapsed > WALL_BUDGET {
+        eprintln!("WALL BUDGET EXCEEDED: {elapsed:.1?} > {WALL_BUDGET:.0?}");
+        failed = true;
+    }
+
+    let bench = BenchReport {
+        seed: MASTER_SEED,
+        speedup_floor: SPEEDUP_FLOOR,
+        error_factor: ERROR_FACTOR,
+        wall_budget_ms: WALL_BUDGET.as_secs_f64() * 1e3,
+        speedup,
+        error_ratio,
+        replay_identical,
+        total_wall_ms: elapsed.as_secs_f64() * 1e3,
+        streams: vec![
+            stream_record("metro-250-warm", &warm),
+            stream_record("metro-250-cold", &cold),
+        ],
+    };
+    let json = serde_json::to_string(&bench).expect("report serializes");
+    match std::fs::write("BENCH_tracking.json", &json) {
+        Ok(()) => println!("wrote BENCH_tracking.json ({} bytes)", json.len()),
+        Err(e) => {
+            eprintln!("FAILED to write BENCH_tracking.json: {e}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "tracking smoke OK: warm updates {speedup:.1}x faster than cold re-solve at matched \
+         accuracy ({error_ratio:.2}x), replay bit-identical across worker counts, {elapsed:.1?} \
+         total"
+    );
+}

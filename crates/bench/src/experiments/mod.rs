@@ -14,6 +14,7 @@ pub mod multilateration;
 pub mod ranging;
 pub mod signal;
 pub mod sync;
+pub mod tracking;
 
 use crate::Table;
 

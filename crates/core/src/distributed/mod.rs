@@ -40,7 +40,7 @@
 
 pub mod refine;
 
-pub use refine::{refine_aligned, RefineConfig, RefineOutcome};
+pub use refine::{refine_aligned, refine_anchored, RefineConfig, RefineOutcome};
 
 use std::collections::BTreeMap;
 

@@ -110,12 +110,19 @@ pub struct RefineOutcome {
     pub converged: bool,
 }
 
+/// Compact-index sentinel marking an edge whose second endpoint is a
+/// *pinned* node: a constant of the optimization, not a variable. Edges
+/// carrying this sentinel contribute a Jacobian row with an entry at the
+/// free endpoint only.
+const PINNED: usize = usize::MAX;
+
 /// One linearization's damped normal operator `JᵀWJ + λI`, applied
 /// matrix-free from the edge list. Layout matches the LSS objective:
 /// `[x_0 … x_{m−1}, y_0 … y_{m−1}]`.
 struct DampedNormalOperator<'a> {
     m: usize,
-    /// `(i, j, w̃)` per edge, compact indices.
+    /// `(i, j, w̃)` per edge, compact indices (`j == PINNED` marks a
+    /// free–pinned edge).
     edges: &'a [(usize, usize, f64)],
     /// Unit vector of `p_i − p_j` per edge at the linearization point.
     units: &'a [(f64, f64)],
@@ -133,12 +140,19 @@ impl LinearOperator for DampedNormalOperator<'_> {
             *out = self.lambda * v;
         }
         for (&(i, j, w), &(ux, uy)) in self.edges.iter().zip(self.units) {
-            // Row of J for this edge: +u at i, −u at j (per coordinate).
-            let s = w * (ux * (x[i] - x[j]) + uy * (x[m + i] - x[m + j]));
-            y[i] += s * ux;
-            y[j] -= s * ux;
-            y[m + i] += s * uy;
-            y[m + j] -= s * uy;
+            if j == PINNED {
+                // Row of J: +u at i only; the pinned endpoint is constant.
+                let s = w * (ux * x[i] + uy * x[m + i]);
+                y[i] += s * ux;
+                y[m + i] += s * uy;
+            } else {
+                // Row of J for this edge: +u at i, −u at j (per coordinate).
+                let s = w * (ux * (x[i] - x[j]) + uy * (x[m + i] - x[m + j]));
+                y[i] += s * ux;
+                y[j] -= s * ux;
+                y[m + i] += s * uy;
+                y[m + j] -= s * uy;
+            }
         }
     }
 }
@@ -155,20 +169,58 @@ pub fn refine_aligned(
     positions: &mut PositionMap,
     config: &RefineConfig,
 ) -> Option<RefineOutcome> {
-    // Compact the aligned nodes: refinement variables are their
-    // coordinates only; unaligned nodes stay untouched.
-    let mut compact_of = vec![usize::MAX; set.node_count()];
+    refine_anchored(set, positions, &[], config)
+}
+
+/// [`refine_aligned`] with hard position constraints: nodes listed in
+/// `pinned` (and localized in `positions`) are treated as *constants* of
+/// the optimization — their coordinates enter edge residuals but are not
+/// variables, so they cannot move. This is the warm-update engine of the
+/// tracking layer ([`crate::tracking`]): anchors are pinned at their
+/// surveyed positions, which keeps incremental refinement in the
+/// absolute frame tick after tick instead of letting it drift.
+///
+/// Pinned ids that are out of range or not localized are ignored. With
+/// `pinned` empty this is exactly `refine_aligned` — same arithmetic,
+/// same bit-identical output. Returns `None` (positions untouched) when
+/// there are no free localized nodes, fewer than two localized nodes
+/// overall, or no measured edge touches a free localized node.
+pub fn refine_anchored(
+    set: &MeasurementSet,
+    positions: &mut PositionMap,
+    pinned: &[NodeId],
+    config: &RefineConfig,
+) -> Option<RefineOutcome> {
+    let n = set.node_count();
+    let mut is_pinned = vec![false; n];
+    for &p in pinned {
+        if p.index() < n {
+            is_pinned[p.index()] = true;
+        }
+    }
+
+    // Compact the aligned free nodes: refinement variables are their
+    // coordinates only; unaligned nodes stay untouched, pinned localized
+    // nodes become per-edge constants.
+    let mut compact_of = vec![usize::MAX; n];
+    let mut pin_pos: Vec<Option<Point2>> = vec![None; n];
     let mut original: Vec<usize> = Vec::new();
     let mut x: Vec<f64> = Vec::new();
-    for (i, slot) in compact_of.iter_mut().enumerate() {
+    let mut pinned_aligned = 0usize;
+    for i in 0..n {
         if let Some(p) = positions.get(NodeId(i)) {
-            *slot = original.len();
-            original.push(i);
-            x.push(p.x);
+            if is_pinned[i] {
+                pin_pos[i] = Some(p);
+                pinned_aligned += 1;
+            } else {
+                compact_of[i] = original.len();
+                original.push(i);
+                x.push(p.x);
+            }
         }
     }
     let m = original.len();
-    if m < 2 {
+    if m == 0 || m + pinned_aligned < 2 {
         return None;
     }
     x.resize(2 * m, 0.0);
@@ -176,15 +228,35 @@ pub fn refine_aligned(
         x[m + k] = positions.get(NodeId(i)).expect("aligned").y;
     }
 
-    // Edges with both endpoints aligned, in measurement-set order
-    // (deterministic: the set iterates its sorted edge map).
-    let edges: Vec<(usize, usize, f64, f64)> = set
-        .iter_weighted()
-        .filter_map(|(a, b, d, w)| {
-            let (ia, ib) = (compact_of[a.index()], compact_of[b.index()]);
-            (ia != usize::MAX && ib != usize::MAX).then_some((ia, ib, d, w))
-        })
-        .collect();
+    // Edges with both endpoints aligned and at least one free, in
+    // measurement-set order (deterministic: the set iterates its sorted
+    // edge map). A free–pinned edge is oriented free-first and carries
+    // the `PINNED` sentinel plus the pinned endpoint's coordinates;
+    // pinned–pinned edges are constant and skipped.
+    let mut edges: Vec<(usize, usize, f64, f64)> = Vec::new();
+    let mut edge_pin: Vec<(f64, f64)> = Vec::new();
+    for (a, b, d, w) in set.iter_weighted() {
+        let (ia, ib) = (compact_of[a.index()], compact_of[b.index()]);
+        match (ia != usize::MAX, ib != usize::MAX) {
+            (true, true) => {
+                edges.push((ia, ib, d, w));
+                edge_pin.push((0.0, 0.0));
+            }
+            (true, false) => {
+                if let Some(p) = pin_pos[b.index()] {
+                    edges.push((ia, PINNED, d, w));
+                    edge_pin.push((p.x, p.y));
+                }
+            }
+            (false, true) => {
+                if let Some(p) = pin_pos[a.index()] {
+                    edges.push((ib, PINNED, d, w));
+                    edge_pin.push((p.x, p.y));
+                }
+            }
+            (false, false) => {}
+        }
+    }
     if edges.is_empty() {
         return None;
     }
@@ -197,9 +269,12 @@ pub fn refine_aligned(
             residuals: Vec::with_capacity(edges.len()),
             units: Vec::with_capacity(edges.len()),
         };
-        for &(i, j, d, w) in &edges {
-            let dx = x[i] - x[j];
-            let dy = x[m + i] - x[m + j];
+        for (&(i, j, d, w), &(px, py)) in edges.iter().zip(&edge_pin) {
+            let (dx, dy) = if j == PINNED {
+                (x[i] - px, x[m + i] - py)
+            } else {
+                (x[i] - x[j], x[m + i] - x[m + j])
+            };
             let dist = (dx * dx + dy * dy).sqrt();
             let r = dist - d;
             let wr = config.loss.reweight(w, r);
@@ -227,9 +302,11 @@ pub fn refine_aligned(
             let s = lin.w_tilde[k] * lin.residuals[k];
             let (ux, uy) = lin.units[k];
             g[i] -= s * ux;
-            g[j] += s * ux;
             g[m + i] -= s * uy;
-            g[m + j] += s * uy;
+            if j != PINNED {
+                g[j] += s * ux;
+                g[m + j] += s * uy;
+            }
         }
         let op_edges: Vec<(usize, usize, f64)> = edges
             .iter()
@@ -439,6 +516,86 @@ mod tests {
             "robust {robust} should beat plain {plain} under a gross outlier"
         );
         assert!(robust < 0.5, "robust error {robust}");
+    }
+
+    #[test]
+    fn empty_pin_list_is_bitwise_refine_aligned() {
+        let truth = grid(5, 4, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let bits = |positions: &PositionMap| -> Vec<(u64, u64)> {
+            (0..truth.len())
+                .map(|i| {
+                    let p = positions.get(NodeId(i)).unwrap();
+                    (p.x.to_bits(), p.y.to_bits())
+                })
+                .collect()
+        };
+        let mut plain = drifted(&truth, 6.0);
+        let mut anchored = plain.clone();
+        let a = refine_aligned(&set, &mut plain, &RefineConfig::default()).unwrap();
+        let b = refine_anchored(&set, &mut anchored, &[], &RefineConfig::default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(bits(&plain), bits(&anchored));
+    }
+
+    #[test]
+    fn pinned_nodes_never_move_and_pull_the_frame_home() {
+        let truth = grid(6, 4, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let mut positions = drifted(&truth, 8.0);
+        // Pin three spread-out nodes at their *true* positions, like
+        // anchors re-surveyed each tick.
+        let pins = [NodeId(0), NodeId(11), NodeId(23)];
+        for &p in &pins {
+            positions.set(p, truth[p.index()]);
+        }
+        let out = refine_anchored(&set, &mut positions, &pins, &RefineConfig::default()).unwrap();
+        assert_eq!(out.nodes, truth.len() - pins.len(), "free variables only");
+        for &p in &pins {
+            let q = positions.get(p).unwrap();
+            assert_eq!(q.x.to_bits(), truth[p.index()].x.to_bits());
+            assert_eq!(q.y.to_bits(), truth[p.index()].y.to_bits());
+        }
+        // With exact measurements and true pins, the refit lands on the
+        // truth in the absolute frame — no best-fit alignment needed.
+        let mut worst = 0.0f64;
+        for (i, &t) in truth.iter().enumerate() {
+            worst = worst.max(positions.get(NodeId(i)).unwrap().distance(t));
+        }
+        assert!(worst < 1e-3, "absolute-frame residual {worst} m");
+    }
+
+    #[test]
+    fn single_free_node_refines_against_pinned_neighbors() {
+        // Trilateration-style: one free node, three pinned ones. The
+        // all-free path would bail out (m < 2); the pinned path solves.
+        let truth = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(0.0, 10.0),
+            Point2::new(6.0, 6.0),
+        ];
+        let set = MeasurementSet::oracle(&truth, 20.0);
+        let mut positions = PositionMap::complete(truth.clone());
+        positions.set(NodeId(3), Point2::new(2.0, 9.0)); // perturbed
+        let pins = [NodeId(0), NodeId(1), NodeId(2)];
+        let out = refine_anchored(&set, &mut positions, &pins, &RefineConfig::default()).unwrap();
+        assert_eq!(out.nodes, 1);
+        assert!(positions.get(NodeId(3)).unwrap().distance(truth[3]) < 1e-6);
+    }
+
+    #[test]
+    fn unlocalized_or_out_of_range_pins_are_ignored() {
+        let truth = grid(4, 3, 9.0);
+        let set = MeasurementSet::oracle(&truth, 15.0);
+        let mut positions = drifted(&truth, 5.0);
+        positions.clear(NodeId(2));
+        // Pinning an unlocalized node and an out-of-range id must not
+        // panic nor change the degenerate-input rules.
+        let pins = [NodeId(2), NodeId(999)];
+        let out = refine_anchored(&set, &mut positions, &pins, &RefineConfig::default());
+        assert!(out.is_some());
+        assert_eq!(positions.get(NodeId(2)), None);
     }
 
     #[test]

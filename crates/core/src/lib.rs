@@ -24,6 +24,10 @@
 //! * [`eval`] — evaluation: best-fit alignment (translate/rotate/flip)
 //!   against ground truth and the paper's average-localization-error
 //!   metric,
+//! * [`tracking`] — online tracking: a [`Tracker`] consumes per-tick
+//!   measurement deltas and keeps the solution warm with bounded
+//!   Gauss–Newton refinement, falling back to a cold batch solve when
+//!   churn invalidates the seed,
 //! * [`problem`] — the unified solving API: a [`Problem`] (measurements +
 //!   anchors + optional ground truth), a [`Solution`] (positions + solve
 //!   statistics), and the object-safe [`Localizer`] trait implemented by
@@ -63,6 +67,7 @@ pub mod lss;
 pub mod mds;
 pub mod multilateration;
 pub mod problem;
+pub mod tracking;
 pub mod types;
 
 pub use eval::{evaluate_against_truth, Evaluation};
@@ -70,6 +75,7 @@ pub use lss::{LssConfig, LssSolution, LssSolver};
 pub use multilateration::{MultilaterationConfig, MultilaterationSolver};
 pub use problem::{Frame, Localizer, Problem, Solution, SolveStats, SolverBackend};
 pub use rl_math::RobustLoss;
+pub use tracking::{StreamingTracker, TickObservation, Tracker, TrackerConfig};
 pub use types::{Anchor, PositionMap};
 
 /// Error type for localization algorithms.

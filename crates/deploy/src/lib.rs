@@ -18,6 +18,8 @@
 //! * [`synth`] — synthetic measurement generation and augmentation,
 //! * [`scenario`] — the named paper scenarios (plus metro-scale
 //!   extensions) used by the benchmark harness,
+//! * [`mobility`] — time-stepped mobility scenarios (motion + churn +
+//!   per-tick re-measured ranges) feeding the `rl-core` tracking layer,
 //! * [`presets`] — the fixed-seed serveable preset registry the
 //!   `rl-serve` server resolves client deployment names against.
 //!
@@ -54,6 +56,7 @@
 pub mod anchors;
 pub mod grid;
 pub mod metro;
+pub mod mobility;
 pub mod presets;
 pub mod random;
 pub mod scenario;
@@ -62,6 +65,7 @@ pub mod town;
 
 pub use anchors::AnchorSelection;
 pub use metro::MetroMap;
+pub use mobility::{ChurnModel, MobilityScenario, MobilityTrace, MotionModel};
 pub use scenario::Scenario;
 pub use synth::SyntheticRanging;
 

@@ -1,0 +1,501 @@
+//! Time-stepped mobility scenarios for the tracking layer.
+//!
+//! A [`Scenario`] is one frozen snapshot; a [`MobilityScenario`] is the
+//! same geometry set in motion. Every tick, non-anchor nodes move under a
+//! [`MotionModel`], join and leave under a [`ChurnModel`], and the active
+//! subnetwork re-measures its ranges through the scenario's existing
+//! error-model stack ([`SyntheticRanging`](crate::SyntheticRanging) or a
+//! composed [`RangingChannel`](rl_ranging::channel::RangingChannel)). The
+//! result is a stream of solver-ready
+//! [`TickObservation`]s — the input
+//! contract of [`rl_core::tracking::Tracker`].
+//!
+//! # Determinism contract
+//!
+//! [`MobilityScenario::trace`] carries the same guarantee as
+//! [`Scenario::instantiate`]: the same `(scenario, seed)` pair always
+//! produces a bit-identical trace. Motion and churn draw from one
+//! sequential stream with a **fixed draw order** — every non-anchor
+//! draws every tick, active or not — and each tick's measurement noise
+//! draws from its own salted sub-stream (a pure function of `(seed,
+//! tick)`), so a tick's measurements never depend on how many pairs were
+//! in range on earlier ticks.
+//!
+//! # Example
+//!
+//! ```
+//! use rl_deploy::mobility::MobilityScenario;
+//!
+//! let mobile = MobilityScenario::town(7).with_ticks(5);
+//! let trace = mobile.trace(1);
+//! assert_eq!(trace.len(), 5);
+//! // Same seed, bit-identical trace.
+//! assert_eq!(mobile.trace(1), trace);
+//! for obs in trace.iter() {
+//!     assert!(!obs.active.is_empty());
+//! }
+//! ```
+
+use rand::Rng;
+use rl_core::tracking::TickObservation;
+use rl_geom::Point2;
+use rl_math::rng::{normal, seeded};
+use rl_math::Fnv1a;
+use rl_net::NodeId;
+use rl_ranging::measurement::MeasurementSet;
+
+use crate::Scenario;
+
+/// Stream salt separating each tick's measurement-noise stream from the
+/// motion/churn stream (same sub-stream idiom as the distributed
+/// pipeline's per-node salt).
+const MEASURE_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// How non-anchor nodes move between ticks. Anchors are surveyed
+/// infrastructure and never move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MotionModel {
+    /// Nodes hold their deployment positions (pure-churn scenarios).
+    Static,
+    /// Independent Gaussian steps: each tick every non-anchor moves by
+    /// `N(0, step_m)` in x and y.
+    RandomWalk {
+        /// Per-axis step standard deviation in meters per tick.
+        step_m: f64,
+    },
+    /// Random-waypoint motion: each node walks toward a uniformly drawn
+    /// target inside the deployment's bounding box and draws a new
+    /// target on arrival.
+    Waypoint {
+        /// Travel speed in meters per tick.
+        speed_m_per_tick: f64,
+    },
+}
+
+/// Per-tick join/leave churn over the non-anchor population. Anchors
+/// never churn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnModel {
+    /// Probability that an inactive non-anchor rejoins each tick.
+    pub join_probability: f64,
+    /// Probability that an active non-anchor drops out each tick.
+    pub leave_probability: f64,
+}
+
+impl ChurnModel {
+    /// No churn at all: every node stays active forever.
+    pub fn none() -> Self {
+        ChurnModel {
+            join_probability: 0.0,
+            leave_probability: 0.0,
+        }
+    }
+
+    /// Symmetric light churn: 2% of nodes leave and 2% of the absent
+    /// rejoin per tick.
+    pub fn light() -> Self {
+        ChurnModel {
+            join_probability: 0.02,
+            leave_probability: 0.02,
+        }
+    }
+}
+
+/// A [`Scenario`] set in motion: motion + churn + per-tick re-measured
+/// ranges, producing a deterministic [`MobilityTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityScenario {
+    /// The underlying geometry, anchors, and error model.
+    pub base: Scenario,
+    /// Non-anchor motion model.
+    pub motion: MotionModel,
+    /// Join/leave churn model.
+    pub churn: ChurnModel,
+    /// Trace length in ticks.
+    pub ticks: usize,
+    /// Fraction of non-anchors active on tick 0 (`1.0` = everyone).
+    pub initial_active_fraction: f64,
+}
+
+impl MobilityScenario {
+    /// Wraps a scenario with the default mobility recipe: 0.5 m/tick
+    /// random walk, light churn, 30 ticks, everyone initially active.
+    pub fn new(base: Scenario) -> Self {
+        MobilityScenario {
+            base,
+            motion: MotionModel::RandomWalk { step_m: 0.5 },
+            churn: ChurnModel::light(),
+            ticks: 30,
+            initial_active_fraction: 1.0,
+        }
+    }
+
+    /// The paper's 59-node town set in motion with the default recipe.
+    pub fn town(seed: u64) -> Self {
+        MobilityScenario::new(Scenario::town(seed))
+    }
+
+    /// A 250-node metro district grid set in motion with the default
+    /// recipe (the tracking benchmark's large cell).
+    pub fn metro_250(seed: u64) -> Self {
+        MobilityScenario::new(Scenario::metro_sized(250, 0.10, seed))
+    }
+
+    /// Replaces the motion model (builder style).
+    pub fn with_motion(mut self, motion: MotionModel) -> Self {
+        self.motion = motion;
+        self
+    }
+
+    /// Replaces the churn model (builder style).
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Sets the trace length (builder style).
+    pub fn with_ticks(mut self, ticks: usize) -> Self {
+        self.ticks = ticks;
+        self
+    }
+
+    /// Sets the tick-0 active fraction of non-anchors (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn with_initial_active_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "initial_active_fraction {fraction} outside [0, 1]"
+        );
+        self.initial_active_fraction = fraction;
+        self
+    }
+
+    /// Generates the full trace: one [`TickObservation`] per tick, with
+    /// ground truth riding along (like [`Scenario::instantiate`]'s
+    /// truth) for evaluation and protocol-driven solvers.
+    ///
+    /// The same `(scenario, seed)` pair always produces a bit-identical
+    /// trace.
+    pub fn trace(&self, seed: u64) -> MobilityTrace {
+        let n = self.base.deployment.len();
+        let mut is_anchor = vec![false; n];
+        for a in &self.base.anchors {
+            is_anchor[a.index()] = true;
+        }
+        let bounds = self
+            .base
+            .deployment
+            .bounding_box()
+            .unwrap_or((Point2::new(0.0, 0.0), Point2::new(0.0, 0.0)));
+
+        let mut rng = seeded(seed);
+        let mut positions = self.base.deployment.positions.clone();
+        let mut active = vec![false; n];
+        // Waypoint targets; drawn up front for every non-anchor so the
+        // draw order is fixed regardless of the motion model's arrivals.
+        let mut targets: Vec<Point2> = Vec::new();
+        if let MotionModel::Waypoint { .. } = self.motion {
+            targets = (0..n)
+                .map(|_| {
+                    Point2::new(
+                        rng.gen_range(bounds.0.x..=bounds.1.x),
+                        rng.gen_range(bounds.0.y..=bounds.1.y),
+                    )
+                })
+                .collect();
+        }
+
+        let anchors = self.base.anchor_list();
+        let mut observations = Vec::with_capacity(self.ticks);
+        for tick in 0..self.ticks {
+            let previous = active.clone();
+            if tick == 0 {
+                for (i, slot) in active.iter_mut().enumerate() {
+                    *slot = is_anchor[i]
+                        || self.initial_active_fraction >= 1.0
+                        || rng.gen_bool(self.initial_active_fraction);
+                }
+            } else {
+                // One churn draw per non-anchor, id order: active nodes
+                // test leaving, inactive ones test rejoining. The draw
+                // count per tick is constant, so editing the churn rates
+                // never shifts the motion stream.
+                for i in 0..n {
+                    if is_anchor[i] {
+                        continue;
+                    }
+                    if active[i] {
+                        if rng.gen_bool(self.churn.leave_probability) {
+                            active[i] = false;
+                        }
+                    } else if rng.gen_bool(self.churn.join_probability) {
+                        active[i] = true;
+                    }
+                }
+                // Motion applies to every non-anchor — inactive nodes
+                // keep wandering while absent, so draw order is fixed
+                // and positions stay continuous across a rejoin.
+                match self.motion {
+                    MotionModel::Static => {}
+                    MotionModel::RandomWalk { step_m } => {
+                        for (i, p) in positions.iter_mut().enumerate() {
+                            if is_anchor[i] {
+                                continue;
+                            }
+                            p.x =
+                                (p.x + normal(&mut rng, 0.0, step_m)).clamp(bounds.0.x, bounds.1.x);
+                            p.y =
+                                (p.y + normal(&mut rng, 0.0, step_m)).clamp(bounds.0.y, bounds.1.y);
+                        }
+                    }
+                    MotionModel::Waypoint { speed_m_per_tick } => {
+                        for (i, p) in positions.iter_mut().enumerate() {
+                            if is_anchor[i] {
+                                continue;
+                            }
+                            let target = targets[i];
+                            let dist = p.distance(target);
+                            if dist <= speed_m_per_tick {
+                                *p = target;
+                                targets[i] = Point2::new(
+                                    rng.gen_range(bounds.0.x..=bounds.1.x),
+                                    rng.gen_range(bounds.0.y..=bounds.1.y),
+                                );
+                            } else {
+                                let scale = speed_m_per_tick / dist;
+                                p.x += (target.x - p.x) * scale;
+                                p.y += (target.y - p.y) * scale;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Re-measure the active subnetwork through the scenario's
+            // error stack, on a per-tick salted sub-stream.
+            let active_ids: Vec<NodeId> = (0..n).filter(|&i| active[i]).map(NodeId).collect();
+            let active_positions: Vec<Point2> =
+                active_ids.iter().map(|id| positions[id.index()]).collect();
+            let mut tick_rng = seeded(seed ^ (tick as u64 + 1).wrapping_mul(MEASURE_STREAM));
+            let compact = match &self.base.channel {
+                Some(channel) => channel.measure_all(&active_positions, &mut tick_rng),
+                None => self
+                    .base
+                    .ranging
+                    .measure_all(&active_positions, &mut tick_rng),
+            };
+            let mut measurements = MeasurementSet::new(n);
+            for (a, b, d, w) in compact.iter_weighted() {
+                measurements.insert_weighted(active_ids[a.index()], active_ids[b.index()], d, w);
+            }
+
+            let joined: Vec<NodeId> = (0..n)
+                .filter(|&i| active[i] && !previous[i])
+                .map(NodeId)
+                .collect();
+            let left: Vec<NodeId> = (0..n)
+                .filter(|&i| !active[i] && previous[i])
+                .map(NodeId)
+                .collect();
+            observations.push(TickObservation {
+                tick: tick as u64,
+                measurements,
+                anchors: anchors.clone(),
+                active: active_ids,
+                joined,
+                left,
+                truth: Some(positions.clone()),
+            });
+        }
+        MobilityTrace {
+            name: format!("{}-mobile", self.base.name),
+            observations,
+        }
+    }
+}
+
+/// A generated mobility run: one observation per tick, ready to feed a
+/// [`Tracker`](rl_core::tracking::Tracker).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityTrace {
+    /// Trace name, derived from the base scenario.
+    pub name: String,
+    /// Per-tick observations, index = tick.
+    pub observations: Vec<TickObservation>,
+}
+
+impl MobilityTrace {
+    /// Number of ticks.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the trace has no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Iterates the per-tick observations.
+    pub fn iter(&self) -> impl Iterator<Item = &TickObservation> + '_ {
+        self.observations.iter()
+    }
+}
+
+/// A bit-exact digest of one tick: truth coordinates, active/joined/left
+/// membership, and every weighted measurement. Golden fixtures pin these
+/// against the vendored xoshiro256++ stream.
+pub fn observation_fingerprint(obs: &TickObservation) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(obs.tick);
+    h.write_u64(obs.measurements.node_count() as u64);
+    match &obs.truth {
+        Some(truth) => {
+            h.write_u8(1);
+            h.write_u64(truth.len() as u64);
+            for p in truth {
+                h.write_f64(p.x);
+                h.write_f64(p.y);
+            }
+        }
+        None => h.write_u8(0),
+    }
+    for list in [&obs.active, &obs.joined, &obs.left] {
+        h.write_u64(list.len() as u64);
+        for id in list {
+            h.write_u64(id.index() as u64);
+        }
+    }
+    for a in &obs.anchors {
+        h.write_u64(a.id.index() as u64);
+        h.write_f64(a.position.x);
+        h.write_f64(a.position.y);
+    }
+    for (a, b, d, w) in obs.measurements.iter_weighted() {
+        h.write_u64(a.index() as u64);
+        h.write_u64(b.index() as u64);
+        h.write_f64(d);
+        h.write_f64(w);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MobilityScenario {
+        MobilityScenario::town(3).with_ticks(6)
+    }
+
+    #[test]
+    fn traces_are_bit_deterministic() {
+        let m = small();
+        let a = m.trace(9);
+        let b = m.trace(9);
+        assert_eq!(a, b);
+        let fp_a: Vec<u64> = a.iter().map(observation_fingerprint).collect();
+        let fp_b: Vec<u64> = b.iter().map(observation_fingerprint).collect();
+        assert_eq!(fp_a, fp_b);
+        assert_ne!(m.trace(10), a, "different seed, different trace");
+    }
+
+    #[test]
+    fn anchors_are_immortal_and_static() {
+        let m = small();
+        let trace = m.trace(4);
+        let anchor_truth = m.base.anchor_positions();
+        for obs in trace.iter() {
+            for (id, p) in &anchor_truth {
+                assert!(obs.active.contains(id), "anchor {id:?} inactive");
+                let truth = obs.truth.as_ref().unwrap();
+                assert_eq!(truth[id.index()], *p, "anchor {id:?} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_deltas_are_consistent() {
+        let m = small().with_churn(ChurnModel {
+            join_probability: 0.3,
+            leave_probability: 0.3,
+        });
+        let trace = m.trace(11);
+        let mut previous: Vec<NodeId> = Vec::new();
+        for obs in trace.iter() {
+            for id in &obs.joined {
+                assert!(obs.active.contains(id) && !previous.contains(id));
+            }
+            for id in &obs.left {
+                assert!(!obs.active.contains(id) && previous.contains(id));
+            }
+            // active = previous + joined − left, as sets.
+            let mut rebuilt: Vec<NodeId> = previous
+                .iter()
+                .filter(|id| !obs.left.contains(id))
+                .chain(obs.joined.iter())
+                .copied()
+                .collect();
+            rebuilt.sort_by_key(|id| id.index());
+            assert_eq!(rebuilt, obs.active);
+            previous = obs.active.clone();
+        }
+    }
+
+    #[test]
+    fn motion_stays_in_bounds_and_finite() {
+        for motion in [
+            MotionModel::Static,
+            MotionModel::RandomWalk { step_m: 2.0 },
+            MotionModel::Waypoint {
+                speed_m_per_tick: 3.0,
+            },
+        ] {
+            let m = small().with_motion(motion);
+            let (lo, hi) = m.base.deployment.bounding_box().unwrap();
+            let trace = m.trace(5);
+            for obs in trace.iter() {
+                for p in obs.truth.as_ref().unwrap() {
+                    assert!(p.x.is_finite() && p.y.is_finite());
+                    assert!(p.x >= lo.x - 1e-9 && p.x <= hi.x + 1e-9);
+                    assert!(p.y >= lo.y - 1e-9 && p.y <= hi.y + 1e-9);
+                }
+            }
+            if motion == MotionModel::Static {
+                let first = trace.observations[0].truth.clone();
+                let last = trace.observations[trace.len() - 1].truth.clone();
+                assert_eq!(first, last, "static motion must not move anyone");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_only_touch_active_nodes() {
+        let m = small().with_initial_active_fraction(0.6);
+        let trace = m.trace(8);
+        for obs in trace.iter() {
+            for (a, b, d, w) in obs.measurements.iter_weighted() {
+                assert!(obs.active.contains(&a) && obs.active.contains(&b));
+                assert!(d.is_finite() && w.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn churn_rates_do_not_shift_the_motion_stream() {
+        // Same seed, different churn rates: the truth trajectories must
+        // stay identical (fixed draw order per tick).
+        let calm = small().with_churn(ChurnModel::none()).trace(13);
+        let busy = small()
+            .with_churn(ChurnModel {
+                join_probability: 0.5,
+                leave_probability: 0.5,
+            })
+            .trace(13);
+        for (a, b) in calm.iter().zip(busy.iter()) {
+            assert_eq!(a.truth, b.truth);
+        }
+    }
+}

@@ -173,6 +173,13 @@ pub struct ServerStats {
     pub cache_entries: u64,
     /// Solution-cache capacity.
     pub cache_capacity: u64,
+    /// Jobs currently waiting in the queue (a gauge, not cumulative).
+    pub queued: u64,
+    /// Configured job-queue depth bound; `0` means unbounded.
+    pub queue_depth: u64,
+    /// Localize requests rejected with [`ErrorCode::Overloaded`] because
+    /// the queue was full.
+    pub overloaded: u64,
 }
 
 /// A typed error response.
@@ -224,6 +231,11 @@ pub enum ErrorCode {
     /// The server is shutting down and no longer accepts localize
     /// requests.
     ShuttingDown,
+    /// The job queue is at its configured depth bound; the request was
+    /// rejected without being enqueued. Retry after a backoff — the
+    /// connection stays open. (Additive in-place of a version bump, per
+    /// the module-docs policy.)
+    Overloaded,
 }
 
 /// Frame-level read failures (transport, not application, errors).

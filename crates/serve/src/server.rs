@@ -120,6 +120,12 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Maximum accepted frame size (bytes).
     pub max_frame: usize,
+    /// Job-queue depth bound: a localize request arriving while this
+    /// many jobs are already waiting is rejected with
+    /// [`ErrorCode::Overloaded`] instead of enqueued (cache hits and
+    /// coalesced joins are unaffected — they never enqueue). `0` means
+    /// unbounded.
+    pub queue_depth: usize,
     /// Test instrumentation: a minimum wall-clock floor applied to every
     /// solve. The batching tests use it to hold a solve in flight long
     /// enough that duplicate requests *deterministically* coalesce;
@@ -136,6 +142,7 @@ impl Default for ServeConfig {
             problem_capacity: 16,
             read_timeout: Duration::from_secs(30),
             max_frame: protocol::DEFAULT_MAX_FRAME,
+            queue_depth: 1024,
             solve_floor: Duration::ZERO,
         }
     }
@@ -169,6 +176,12 @@ impl ServeConfig {
     /// Sets the maximum accepted frame size.
     pub fn with_max_frame(mut self, max: usize) -> Self {
         self.max_frame = max;
+        self
+    }
+
+    /// Sets the job-queue depth bound (`0` = unbounded).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
         self
     }
 
@@ -224,6 +237,7 @@ struct Shared {
     solves_started: AtomicU64,
     solves: AtomicU64,
     errors: AtomicU64,
+    overloaded: AtomicU64,
 }
 
 impl Shared {
@@ -232,6 +246,9 @@ impl Shared {
     }
 
     fn stats(&self) -> ServerStats {
+        // Queue before cache: the cache lock is innermost everywhere
+        // else, so it is never held while waiting on the queue.
+        let queued = self.queue.lock().expect("queue lock").jobs.len() as u64;
         let cache = self.cache.lock().expect("cache lock");
         ServerStats {
             protocol: PROTOCOL_VERSION,
@@ -245,6 +262,9 @@ impl Shared {
             errors: self.errors.load(Ordering::Relaxed),
             cache_entries: cache.len() as u64,
             cache_capacity: cache.capacity() as u64,
+            queued,
+            queue_depth: self.config.queue_depth as u64,
+            overloaded: self.overloaded.load(Ordering::Relaxed),
         }
     }
 
@@ -405,6 +425,7 @@ impl Server {
             solves_started: AtomicU64::new(0),
             solves: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
             config,
         });
         let workers = (0..resolved_workers)
@@ -586,6 +607,29 @@ fn handle_localize(shared: &Shared, deployment: &str, solver: &str, seed: u64) -
                 ErrorCode::ShuttingDown,
                 "server is shutting down",
             ));
+        }
+        let depth = shared.config.queue_depth;
+        if depth > 0 && q.jobs.len() >= depth {
+            // Queue at its bound: reject instead of growing without
+            // limit. The registration is undone the same way as the
+            // shutdown path; any request that coalesced onto it in the
+            // meantime receives the same typed rejection.
+            drop(q);
+            shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            let err = WireError::new(
+                ErrorCode::Overloaded,
+                format!("job queue is full ({depth} waiting); retry after a backoff"),
+            );
+            let waiters = shared
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .remove(&key)
+                .unwrap_or_default();
+            for tx in waiters {
+                let _ = tx.send(Err(err.clone()));
+            }
+            return Response::Error(err);
         }
         q.jobs.push_back(Job {
             key,

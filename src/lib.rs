@@ -18,8 +18,8 @@
 //! | [`signal`] | `rl-signal` | acoustic channel, tone detection, chirp patterns |
 //! | [`net`] | `rl-net` | discrete-event WSN simulator, time sync, flooding |
 //! | [`ranging`] | `rl-ranging` | TDoA ranging service, filtering, consistency |
-//! | [`deploy`] | `rl-deploy` | deployments, anchors, synthetic measurements, scenarios |
-//! | [`localization`] | `rl-core` | multilateration, LSS, distributed LSS, MDS, `Problem`/`Localizer` |
+//! | [`deploy`] | `rl-deploy` | deployments, anchors, synthetic measurements, scenarios, mobility |
+//! | [`localization`] | `rl-core` | multilateration, LSS, distributed LSS, MDS, tracking, `Problem`/`Localizer` |
 //! | [`bench`](mod@bench) | `rl-bench` | campaign runner, experiment harness, figure reproductions |
 //! | [`serve`] | `rl-serve` | TCP localization server: worker pool, request batching, solution cache |
 //!
@@ -99,8 +99,12 @@ pub mod prelude {
     pub use rl_core::mds::MdsMapLocalizer;
     pub use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
     pub use rl_core::problem::{Frame, Localizer, Problem, Solution, SolveStats};
+    pub use rl_core::tracking::{
+        cold_seed, solution_fingerprint, StreamingTracker, TickObservation, Tracker, TrackerConfig,
+    };
     pub use rl_core::types::{Anchor, NodeId, PositionMap};
     pub use rl_core::{LocalizationError, Result, RobustLoss};
+    pub use rl_deploy::mobility::{ChurnModel, MobilityScenario, MobilityTrace, MotionModel};
     pub use rl_geom::{Point2, Vec2};
     pub use rl_ranging::measurement::{DirectedSample, MeasurementSet, RangingCampaign};
     pub use rl_serve::{Client, ServeConfig, Server};

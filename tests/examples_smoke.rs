@@ -65,3 +65,8 @@ fn compare_solvers_runs_and_prints_finite_output() {
 fn serve_client_runs_and_prints_finite_output() {
     run_example("serve_client");
 }
+
+#[test]
+fn tracking_runs_and_prints_finite_output() {
+    run_example("tracking");
+}

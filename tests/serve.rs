@@ -322,3 +322,65 @@ fn shutdown_is_acknowledged_and_later_connects_fail() {
         }
     }
 }
+
+#[test]
+fn full_queues_reject_with_a_typed_overloaded_error() {
+    // One worker, a queue bound of one, and a solve floor: a blocker
+    // occupies the worker, a second distinct request fills the queue, and
+    // a third must be rejected with `Overloaded` instead of waiting —
+    // without taking the server down.
+    let config = ServeConfig::default()
+        .with_workers(1)
+        .with_queue_depth(1)
+        .with_solve_floor(Duration::from_millis(300));
+    let (addr, handle) = Server::spawn(config).unwrap();
+
+    let blocker = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.localize("parking-lot", "centroid", 11).unwrap();
+    });
+    let mut control = Client::connect(addr).unwrap();
+    while control.status().unwrap().solves_started < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Fills the one queue slot (distinct triple: no coalescing).
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.localize("town", "centroid", 12).unwrap();
+    });
+    while control.status().unwrap().queued < 1 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = control.status().unwrap();
+    assert_eq!(
+        stats.queue_depth, 1,
+        "stats must report the configured bound"
+    );
+    assert_eq!(stats.queued, 1);
+
+    // A third distinct request now finds the queue full.
+    let mut rejected = Client::connect(addr).unwrap();
+    match rejected.localize("grass-grid", "lss", 13) {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::Overloaded, "got {e}");
+            assert!(e.message.contains("retry"), "got {:?}", e.message);
+        }
+        other => panic!("expected an Overloaded rejection, got {other:?}"),
+    }
+
+    blocker.join().unwrap();
+    queued.join().unwrap();
+
+    // The rejection is not sticky: once the queue drains, the *same
+    // connection* can submit the same triple and get the real answer.
+    let reply = rejected.localize("grass-grid", "lss", 13).unwrap();
+    let direct = solve_direct("grass-grid", "lss", 13).unwrap();
+    assert_reply_bitwise(&reply, &direct);
+
+    let stats = control.status().unwrap();
+    assert!(stats.overloaded >= 1, "rejections must be counted");
+    assert_eq!(stats.queued, 0, "queue gauge must drain to zero");
+    control.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}

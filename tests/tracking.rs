@@ -1,0 +1,289 @@
+//! Integration tests for the online tracking layer: warm-start parity
+//! with the batch solvers, bit-identical replay across worker counts,
+//! cold-restart equivalence after `reset()`, and property-based churn
+//! coverage.
+
+use proptest::prelude::*;
+use resilient_localization::prelude::*;
+use rl_core::distributed::{DistributedConfig, DistributedSolver};
+use rl_core::tracking::COLD_STREAM;
+use rl_deploy::mobility::observation_fingerprint;
+
+const SEED: u64 = 20050614;
+
+/// A churn threshold no observation can satisfy: forces the cold path
+/// on every tick (the reference arm).
+const ALWAYS_COLD: f64 = f64::NEG_INFINITY;
+
+/// A static, churn-free mobility stream over the paper's town.
+fn static_town(ticks: usize) -> MobilityTrace {
+    MobilityScenario::town(SEED)
+        .with_motion(MotionModel::Static)
+        .with_churn(ChurnModel::none())
+        .with_ticks(ticks)
+        .trace(SEED)
+}
+
+/// The tracker's standard cold engine, standalone: anchored sparse LSS.
+fn batch_lss() -> LssSolver {
+    LssSolver::new(LssConfig {
+        use_anchors: true,
+        ..LssConfig::metro()
+    })
+}
+
+#[test]
+fn cold_bootstrap_is_bitwise_the_batch_solver() {
+    // Tick 0 goes through the cold path; with every node active, the
+    // tracker's subproblem is the full problem, so its positions must
+    // match a direct batch solve bit for bit — same solver, same
+    // cold-derived seed.
+    let trace = static_town(1);
+    let obs = &trace.observations[0];
+    let mut tracker = StreamingTracker::with_lss(TrackerConfig::new(SEED));
+    let tracked = tracker.observe(obs).unwrap().positions().clone();
+
+    let problem = Problem::builder(obs.measurements.clone())
+        .anchors(obs.anchors.clone())
+        .truth(obs.truth.clone().unwrap())
+        .build()
+        .unwrap();
+    let mut rng = rl_math::rng::seeded(cold_seed(SEED, 0));
+    let reference = batch_lss().localize(&problem, &mut rng).unwrap();
+
+    assert_eq!(tracked.len(), reference.positions().len());
+    for i in 0..tracked.len() {
+        match (tracked.get(NodeId(i)), reference.positions().get(NodeId(i))) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "node {i} x diverged");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "node {i} y diverged");
+            }
+            (None, None) => {}
+            _ => panic!("localization sets diverged at node {i}"),
+        }
+    }
+}
+
+#[test]
+fn warm_updates_reach_a_bitwise_fixed_point_on_a_static_network() {
+    // Feeding the *same* observation repeatedly must converge: once the
+    // bounded Gauss-Newton steps stop improving, the positions freeze
+    // bit for bit (the warm path draws no randomness), in agreement
+    // with the batch solution to well under the measurement noise.
+    let trace = static_town(1);
+    let obs = &trace.observations[0];
+    let mut tracker = StreamingTracker::with_lss(TrackerConfig::new(SEED));
+    let mut last = None;
+    let mut fixed = false;
+    for _ in 0..40 {
+        let fp = solution_fingerprint(tracker.observe(obs).unwrap());
+        if last == Some(fp) {
+            fixed = true;
+            break;
+        }
+        last = Some(fp);
+    }
+    assert!(fixed, "warm updates never reached a fixed point");
+
+    // The fixed point agrees with the batch solver's answer to ~cm on
+    // the town (both are estimates of the same 0.33 m-noise geometry).
+    let problem = Problem::builder(obs.measurements.clone())
+        .anchors(obs.anchors.clone())
+        .truth(obs.truth.clone().unwrap())
+        .build()
+        .unwrap();
+    let mut rng = rl_math::rng::seeded(cold_seed(SEED, 0));
+    let reference = batch_lss().localize(&problem, &mut rng).unwrap();
+    let truth = obs.truth.as_ref().unwrap();
+    let tracked_err = evaluate_absolute(tracker.latest().unwrap().positions(), truth)
+        .unwrap()
+        .mean_error;
+    let batch_err = evaluate_absolute(reference.positions(), truth)
+        .unwrap()
+        .mean_error;
+    assert!(
+        (tracked_err - batch_err).abs() < 0.05,
+        "tracker limit {tracked_err:.4} m vs batch {batch_err:.4} m"
+    );
+}
+
+#[test]
+fn replay_is_bit_identical_across_worker_counts() {
+    // The distributed cold engine shards its local-solve phase across a
+    // worker pool; the tracker's stream must not care. Two ticks: a
+    // cold bootstrap (workers exercised) and a warm update on top.
+    let trace = MobilityScenario::new(rl_deploy::Scenario::parking_lot(SEED))
+        .with_motion(MotionModel::RandomWalk { step_m: 0.3 })
+        .with_churn(ChurnModel::none())
+        .with_ticks(2)
+        .trace(SEED);
+    let stream = |workers: usize| -> Vec<u64> {
+        let cold = DistributedSolver::new(DistributedConfig::default().with_workers(workers));
+        let mut tracker = StreamingTracker::new(TrackerConfig::new(SEED), Box::new(cold));
+        trace
+            .iter()
+            .map(|obs| solution_fingerprint(tracker.observe(obs).unwrap()))
+            .collect()
+    };
+    let serial = stream(1);
+    let pooled = stream(4);
+    assert_eq!(
+        serial, pooled,
+        "tracker stream diverged between 1 and 4 workers"
+    );
+}
+
+#[test]
+fn reset_gives_cold_restart_equivalence() {
+    // A reset tracker must replay a stream bit-identically to a fresh
+    // one: no carried positions, counters, or tick index survive.
+    let trace = MobilityScenario::town(SEED).with_ticks(4).trace(SEED);
+    let mut tracker = StreamingTracker::with_lss(TrackerConfig::new(SEED));
+    let first: Vec<u64> = trace
+        .iter()
+        .map(|obs| solution_fingerprint(tracker.observe(obs).unwrap()))
+        .collect();
+    assert!(tracker.warm_updates() > 0, "stream should warm up");
+    tracker.reset();
+    assert_eq!(tracker.ticks(), 0);
+    assert!(tracker.latest().is_none());
+    let replayed: Vec<u64> = trace
+        .iter()
+        .map(|obs| solution_fingerprint(tracker.observe(obs).unwrap()))
+        .collect();
+    assert_eq!(first, replayed, "reset tracker diverged from fresh replay");
+
+    let mut fresh = StreamingTracker::with_lss(TrackerConfig::new(SEED));
+    let from_fresh: Vec<u64> = trace
+        .iter()
+        .map(|obs| solution_fingerprint(fresh.observe(obs).unwrap()))
+        .collect();
+    assert_eq!(first, from_fresh);
+}
+
+#[test]
+fn cold_seed_is_pure_and_salted() {
+    // The cold-solve seed derivation is the replay contract: a pure
+    // function of (config seed, observation index), built on the same
+    // odd-salt sub-stream idiom as the rest of the workspace.
+    assert_eq!(COLD_STREAM % 2, 1, "stream salt must be odd");
+    assert_eq!(cold_seed(SEED, 3), SEED ^ 4u64.wrapping_mul(COLD_STREAM));
+    let mut seen = std::collections::HashSet::new();
+    for tick in 0..64 {
+        assert!(seen.insert(cold_seed(SEED, tick)), "seed collision");
+    }
+}
+
+#[test]
+fn tracker_survives_a_full_disconnection_tick() {
+    // An observation whose active set has no measured edges cannot be
+    // refined or cold-solved; the tracker must return a typed error and
+    // keep serving subsequent good ticks.
+    let trace = static_town(3);
+    let mut tracker = StreamingTracker::with_lss(TrackerConfig::new(SEED));
+    tracker.observe(&trace.observations[0]).unwrap();
+
+    let mut dead = trace.observations[1].clone();
+    dead.measurements = MeasurementSet::new(dead.measurements.node_count());
+    assert!(tracker.observe(&dead).is_err(), "no edges must not solve");
+
+    let solution = tracker.observe(&trace.observations[2]).unwrap();
+    assert!(solution.positions().localized_count() > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random join/leave/move sequences: the tracker never panics,
+    /// never emits a non-finite position, and its per-stream error
+    /// stays bounded relative to a cold re-solve of the same ticks.
+    #[test]
+    fn churn_streams_stay_finite_and_bounded(
+        seed in 0u64..1_000,
+        step_m in 0.0f64..1.5,
+        join in 0.0f64..0.4,
+        leave in 0.0f64..0.4,
+        initial in 0.6f64..1.0,
+        waypoint in proptest::bool::ANY,
+    ) {
+        let motion = if waypoint {
+            MotionModel::Waypoint { speed_m_per_tick: step_m + 0.1 }
+        } else {
+            MotionModel::RandomWalk { step_m }
+        };
+        let trace = MobilityScenario::new(rl_deploy::Scenario::parking_lot(SEED))
+            .with_motion(motion)
+            .with_churn(ChurnModel { join_probability: join, leave_probability: leave })
+            .with_initial_active_fraction(initial)
+            .with_ticks(4)
+            .trace(seed);
+
+        let mut warm = StreamingTracker::with_lss(TrackerConfig::new(seed));
+        let mut cold = StreamingTracker::with_lss(
+            TrackerConfig::new(seed).with_churn_restart_fraction(ALWAYS_COLD),
+        );
+        let mut warm_errs = Vec::new();
+        let mut cold_errs = Vec::new();
+        for obs in trace.iter() {
+            let truth = obs.truth.clone().unwrap();
+            // Sparse churned subnetworks may legitimately fail to solve
+            // (disconnection, too few anchors); an error is fine, a
+            // panic or a non-finite estimate is not.
+            let warm_err = match warm.observe(obs) {
+                Ok(solution) => {
+                    for (_, p) in solution.positions().iter() {
+                        if let Some(p) = p {
+                            prop_assert!(p.x.is_finite() && p.y.is_finite());
+                        }
+                    }
+                    evaluate_absolute(solution.positions(), &truth).ok().map(|e| e.mean_error)
+                }
+                Err(_) => None,
+            };
+            let cold_err = match cold.observe(obs) {
+                Ok(solution) => {
+                    evaluate_absolute(solution.positions(), &truth).ok().map(|e| e.mean_error)
+                }
+                Err(_) => None,
+            };
+            if let (Some(w), Some(c)) = (warm_err, cold_err) {
+                warm_errs.push(w);
+                cold_errs.push(c);
+            }
+        }
+        if !warm_errs.is_empty() {
+            let warm_mean = warm_errs.iter().sum::<f64>() / warm_errs.len() as f64;
+            let cold_mean = cold_errs.iter().sum::<f64>() / cold_errs.len() as f64;
+            prop_assert!(
+                warm_mean <= cold_mean * 3.0 + 2.0,
+                "warm stream error {warm_mean:.3} m unbounded vs cold {cold_mean:.3} m"
+            );
+        }
+    }
+
+    /// Mobility traces themselves are churn-safe: every tick's edges
+    /// touch only active nodes, ground truth stays finite, and the
+    /// trace replays bit-identically.
+    #[test]
+    fn mobility_traces_replay_and_stay_consistent(
+        seed in 0u64..1_000,
+        join in 0.0f64..0.5,
+        leave in 0.0f64..0.5,
+    ) {
+        let scenario = MobilityScenario::new(rl_deploy::Scenario::parking_lot(SEED))
+            .with_churn(ChurnModel { join_probability: join, leave_probability: leave })
+            .with_ticks(5);
+        let trace = scenario.trace(seed);
+        let replay = scenario.trace(seed);
+        for (a, b) in trace.iter().zip(replay.iter()) {
+            prop_assert_eq!(observation_fingerprint(a), observation_fingerprint(b));
+            for p in a.truth.as_ref().unwrap() {
+                prop_assert!(p.x.is_finite() && p.y.is_finite());
+            }
+            for (u, v, d, w) in a.measurements.iter_weighted() {
+                prop_assert!(a.active.contains(&u) && a.active.contains(&v));
+                prop_assert!(d.is_finite() && w.is_finite());
+            }
+        }
+    }
+}
