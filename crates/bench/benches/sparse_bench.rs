@@ -62,17 +62,21 @@ fn bench_mdsmap_backends(c: &mut Criterion) {
             });
         }
     }
-    // Sparse-only headroom rung: the dense path at this size is the
-    // minutes-long wall the backend exists to remove.
-    let metro1000 = Scenario::metro(SEED).instantiate(SEED);
-    c.bench_function("mdsmap/metro1000_sparse", |b| {
-        b.iter(|| {
-            black_box(
-                mdsmap_coordinates_with(metro1000.measurements(), SolverBackend::Sparse)
-                    .expect("metro graphs are connected"),
-            )
-        })
-    });
+    // Sparse-only headroom rungs: the dense path at these sizes is the
+    // minutes-long wall the backend exists to remove. The 2500 rung is
+    // the multi-source-Dijkstra / blocked-eigensolver stress tier that
+    // `sparse_smoke` wall-gates in CI.
+    for (label, nodes) in [("metro1000", 1000), ("metro2500", 2500)] {
+        let problem = Scenario::metro_sized(nodes, 0.10, SEED).instantiate(SEED);
+        c.bench_function(&format!("mdsmap/{label}_sparse"), |b| {
+            b.iter(|| {
+                black_box(
+                    mdsmap_coordinates_with(problem.measurements(), SolverBackend::Sparse)
+                        .expect("metro graphs are connected"),
+                )
+            })
+        });
+    }
 }
 
 /// Flattens ground truth into the `[x.. , y..]` configuration layout.

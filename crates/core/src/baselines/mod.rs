@@ -246,6 +246,7 @@ impl crate::problem::Localizer for DvHopLocalizer {
                 iterations: 0,
                 residual: None,
                 converged: None,
+                cg_iterations: None,
                 wall_time: start.elapsed(),
             },
         ))
@@ -289,6 +290,7 @@ impl crate::problem::Localizer for CentroidLocalizer {
                 iterations: 0,
                 residual: None,
                 converged: None,
+                cg_iterations: None,
                 wall_time: start.elapsed(),
             },
         ))

@@ -607,6 +607,8 @@ impl crate::problem::Localizer for LssSolver {
                 iterations: solution.iterations(),
                 residual: Some(solution.stress()),
                 converged: Some(solution.converged()),
+                // The LSS descent is gradient-based; no CG inside.
+                cg_iterations: None,
                 wall_time: start.elapsed(),
             },
         ))

@@ -8,7 +8,7 @@
 //! initializer for the LSS descent.
 
 use rl_geom::Point2;
-use rl_math::sparse::{dijkstra, eigen as sparse_eigen, CsrMatrix, LinearOperator};
+use rl_math::sparse::{dijkstra_multi_into, eigen as sparse_eigen, CsrMatrix, LinearOperator};
 use rl_math::{DMatrix, SymmetricEigen};
 use rl_ranging::measurement::MeasurementSet;
 
@@ -168,19 +168,16 @@ fn mdsmap_sparse(set: &MeasurementSet) -> Result<(Vec<Point2>, usize)> {
     let adjacency =
         CsrMatrix::symmetric_from_edges(n, &edges).map_err(LocalizationError::Numerical)?;
 
-    // Per-source Dijkstra over the CSR structure; the completed distance
+    // Multi-source Dijkstra over the CSR structure, every node a source
+    // and one reused heap across all of them; the completed distance
     // table is the one intrinsically quadratic artifact of MDS-MAP.
+    let sources: Vec<usize> = (0..n).collect();
     let mut completed = vec![0.0; n * n];
-    for src in 0..n {
-        let dist = dijkstra(&adjacency, src);
-        for (j, dj) in dist.iter().enumerate() {
-            if !dj.is_finite() {
-                return Err(LocalizationError::InsufficientMeasurements(
-                    "measurement graph is disconnected",
-                ));
-            }
-            completed[src * n + j] = *dj;
-        }
+    dijkstra_multi_into(&adjacency, &sources, &mut completed);
+    if completed.iter().any(|d| !d.is_finite()) {
+        return Err(LocalizationError::InsufficientMeasurements(
+            "measurement graph is disconnected",
+        ));
     }
 
     // Squared, symmetrized distances (mirroring the dense path's
@@ -265,6 +262,31 @@ impl LinearOperator for CenteredOperator {
             *yi = -0.5 * (d2x - self.row_mean[i] * sum_x - mean_dot + self.total_mean * sum_x);
         }
     }
+
+    /// Blocked application sharing one pass over the `n x n` distance
+    /// table for the whole block — the table is the dominant memory
+    /// traffic at metro scale, and the subspace-iteration eigensolver
+    /// applies this operator to `k = 2` vectors every step. Each output
+    /// is bit-identical to the single-vector [`Self::apply`] (the
+    /// campaign fingerprints pin the eigensolver path).
+    fn apply_multi(&self, xs: &[Vec<f64>], ys: &mut [Vec<f64>]) {
+        let n = self.n;
+        let sums: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|x| {
+                let sum_x: f64 = x.iter().sum();
+                let mean_dot: f64 = self.row_mean.iter().zip(x).map(|(r, xi)| r * xi).sum();
+                (sum_x, mean_dot)
+            })
+            .collect();
+        for i in 0..n {
+            let row = &self.d2[i * n..(i + 1) * n];
+            for ((x, y), &(sum_x, mean_dot)) in xs.iter().zip(ys.iter_mut()).zip(&sums) {
+                let d2x: f64 = row.iter().zip(x).map(|(a, b)| a * b).sum();
+                y[i] = -0.5 * (d2x - self.row_mean[i] * sum_x - mean_dot + self.total_mean * sum_x);
+            }
+        }
+    }
 }
 
 /// MDS-MAP as a [`Localizer`](crate::problem::Localizer): shortest-path
@@ -317,6 +339,7 @@ impl crate::problem::Localizer for MdsMapLocalizer {
                 // eigensolver errors out instead of returning an
                 // unconverged embedding. Reaching here means converged.
                 converged: Some(true),
+                cg_iterations: None,
                 wall_time: start.elapsed(),
             },
         ))

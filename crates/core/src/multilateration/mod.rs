@@ -330,6 +330,7 @@ impl MultilaterationSolver {
                 // leaves it unlocalized; there is no global convergence
                 // criterion to report.
                 converged: None,
+                cg_iterations: None,
                 wall_time: start.elapsed(),
             },
         ))

@@ -296,6 +296,13 @@ pub struct SolveStats {
     /// convergence notion (closed-form baselines, protocol-driven
     /// solvers). Campaign summary tables aggregate this per cell.
     pub converged: Option<bool>,
+    /// Cumulative inner conjugate-gradient iterations, for solvers whose
+    /// refinement stage runs CG (distributed LSS, the tracking warm
+    /// path); `None` for solvers with no CG inside. The `sparse_smoke`
+    /// CI bin reads this to gate the preconditioned-CG iteration win —
+    /// deliberately **not** part of any campaign fingerprint, which were
+    /// pinned before the field existed.
+    pub cg_iterations: Option<usize>,
     /// Wall-clock time the solve took.
     pub wall_time: Duration,
 }

@@ -162,6 +162,24 @@ impl TrackerConfig {
         }
     }
 
+    /// [`TrackerConfig::new`] plus the sparse-kernel acceleration on
+    /// the warm path: warm-started inner CG solves seeded from the
+    /// previous accepted Gauss–Newton delta (rescaled by a one-matvec
+    /// line search) — the natural fit for tracking, where consecutive
+    /// ticks solve nearly identical systems and CG's never-worse guard
+    /// makes the seed risk-free. Jacobi preconditioning is deliberately
+    /// not enabled: metro normal equations have a near-uniform diagonal
+    /// and Jacobi measured as a slight loss there (see
+    /// [`DistributedConfig::metro_fast`](crate::distributed::DistributedConfig::metro_fast)).
+    /// Same refinement problem as `new()`, but not bit-identical to it
+    /// (the default path's solution fingerprints are pinned in
+    /// `tests/tracking_golden.rs`), hence a separate opt-in preset.
+    pub fn metro(seed: u64) -> Self {
+        let mut config = Self::new(seed);
+        config.warm.cg_warm_start = true;
+        config
+    }
+
     /// Replaces the warm-path refinement configuration (builder style).
     pub fn with_warm(mut self, warm: RefineConfig) -> Self {
         self.warm = warm;
@@ -322,11 +340,7 @@ impl StreamingTracker {
     /// neighbors, refine. Returns the stats of the accepted update, or
     /// `None` when the tick has nothing refinable (disconnection — the
     /// caller falls back to a cold solve).
-    fn warm_update(
-        &mut self,
-        obs: &TickObservation,
-        active_mask: &[bool],
-    ) -> Option<(usize, Option<f64>, Option<bool>, usize)> {
+    fn warm_update(&mut self, obs: &TickObservation, active_mask: &[bool]) -> Option<WarmStats> {
         // Hard-pin every active anchor at its surveyed position: the
         // absolute frame is re-asserted every tick instead of drifting.
         let mut pins: Vec<NodeId> = Vec::new();
@@ -381,13 +395,28 @@ impl StreamingTracker {
                 }
             }
         }
-        Some((
-            outcome.iterations,
-            Some(outcome.final_stress),
-            Some(outcome.converged),
-            pins.len(),
-        ))
+        Some(WarmStats {
+            iterations: outcome.iterations,
+            residual: Some(outcome.final_stress),
+            converged: Some(outcome.converged),
+            cg_iterations: outcome.cg_iterations,
+            pins: pins.len(),
+        })
     }
+}
+
+/// Stats of one accepted warm update, reported into [`SolveStats`].
+struct WarmStats {
+    /// Accepted Gauss-Newton steps of the incremental refinement.
+    iterations: usize,
+    /// Final robust stress.
+    residual: Option<f64>,
+    /// Whether the refinement converged.
+    converged: Option<bool>,
+    /// Cumulative inner CG iterations across the refinement's solves.
+    cg_iterations: usize,
+    /// Anchors hard-pinned this tick (>= 2 re-asserts the absolute frame).
+    pins: usize,
 }
 
 impl Tracker for StreamingTracker {
@@ -446,21 +475,26 @@ impl Tracker for StreamingTracker {
         if warm_viable {
             warm_stats = self.warm_update(obs, &active_mask);
         }
-        let (frame, iterations, residual, converged) = match warm_stats {
-            Some((iterations, residual, converged, pins)) => {
+        let (frame, iterations, residual, converged, cg_iterations) = match warm_stats {
+            Some(warm) => {
                 self.warm_updates += 1;
-                let frame = if pins >= 2 {
+                let frame = if warm.pins >= 2 {
                     Frame::Absolute
                 } else {
                     previous_frame.unwrap_or(Frame::Relative)
                 };
-                (frame, iterations, residual, converged)
+                (
+                    frame,
+                    warm.iterations,
+                    warm.residual,
+                    warm.converged,
+                    Some(warm.cg_iterations),
+                )
             }
             None => {
                 let frame = self.cold_solve(obs, tick)?;
                 self.cold_solves += 1;
-                let stats = (0usize, None, None);
-                (frame, stats.0, stats.1, stats.2)
+                (frame, 0usize, None, None, None)
             }
         };
 
@@ -471,6 +505,7 @@ impl Tracker for StreamingTracker {
                 iterations,
                 residual,
                 converged,
+                cg_iterations,
                 wall_time: start.elapsed(),
             },
         );

@@ -36,6 +36,7 @@ pub const NAMES: &[&str] = &[
     "metro-250",
     "metro-500",
     "metro-1000",
+    "metro-2500",
 ];
 
 /// Resolves a preset name to its scenario, or `None` for an unknown name.
@@ -45,8 +46,11 @@ pub const NAMES: &[&str] = &[
 /// * `"parking-lot"` — the 15-node parking lot with 5 anchors
 ///   (Figure 12),
 /// * `"town"` — the 59-node town with 18 anchors (Figures 20–22),
-/// * `"metro-250"` / `"metro-500"` / `"metro-1000"` — the metro ladder
-///   (district grids, 10% anchors).
+/// * `"metro-250"` / `"metro-500"` / `"metro-1000"` / `"metro-2500"` —
+///   the metro ladder (district grids, 10% anchors). The 2500-node rung
+///   is the sparse-kernel stress tier: dense `O(n²)`–`O(n³)` paths are
+///   visibly infeasible there, so it anchors the `sparse_smoke` wall
+///   gates and the top `sparse_bench` rung.
 pub fn preset(name: &str) -> Option<Scenario> {
     match name {
         "grass-grid" => Some(Scenario::grass_grid()),
@@ -55,6 +59,7 @@ pub fn preset(name: &str) -> Option<Scenario> {
         "metro-250" => Some(Scenario::metro_sized(250, 0.10, PRESET_SEED)),
         "metro-500" => Some(Scenario::metro_sized(500, 0.10, PRESET_SEED)),
         "metro-1000" => Some(Scenario::metro(PRESET_SEED)),
+        "metro-2500" => Some(Scenario::metro_sized(2500, 0.10, PRESET_SEED)),
         _ => None,
     }
 }
@@ -108,5 +113,8 @@ mod tests {
         let metro = preset("metro-250").unwrap();
         assert_eq!(metro.deployment.len(), 250);
         assert_eq!(metro.anchors.len(), 25);
+        let metro = preset("metro-2500").unwrap();
+        assert_eq!(metro.deployment.len(), 2500);
+        assert_eq!(metro.anchors.len(), 250);
     }
 }

@@ -118,16 +118,25 @@ pub fn topk_symmetric<O: LinearOperator + ?Sized>(
     let mut w: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
     let mut worst_residual = f64::INFINITY;
 
+    // Per-iteration scratch, hoisted out of the loop: the Rayleigh-Ritz
+    // projection and the Ritz-pair blocks are refilled every pass, so a
+    // long subspace iteration allocates them once instead of per step.
+    let mut b = DMatrix::zeros(k, k);
+    let mut xs: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    let mut sxs: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+
     for iteration in 1..=cfg.max_iterations {
+        // One blocked application S V = A V + sigma V: operators with
+        // structure (CSR, the MDS centering operator) push the whole
+        // block through a single traversal.
+        a.apply_multi(&v, &mut w);
         for (vj, wj) in v.iter().zip(w.iter_mut()) {
-            a.apply(vj, wj);
             for (wi, vi) in wj.iter_mut().zip(vj) {
                 *wi += sigma * vi;
             }
         }
         // Rayleigh-Ritz on the current block: B = V^T S V, symmetrized
         // against round-off before the small dense eigensolve.
-        let mut b = DMatrix::zeros(k, k);
         for i in 0..k {
             for j in 0..k {
                 b[(i, j)] = dot(&v[i], &w[j]);
@@ -146,8 +155,12 @@ pub fn topk_symmetric<O: LinearOperator + ?Sized>(
 
         // Ritz pairs and their residuals, both free in extra operator
         // applications: X = V U and S X = (S V) U = W U.
-        let mut xs: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
-        let mut sxs: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+        for x in xs.iter_mut() {
+            x.fill(0.0);
+        }
+        for x in sxs.iter_mut() {
+            x.fill(0.0);
+        }
         for j in 0..k {
             for c in 0..k {
                 let coeff = u[(c, j)];

@@ -106,6 +106,13 @@ pub mod prelude {
     pub use rl_core::{LocalizationError, Result, RobustLoss};
     pub use rl_deploy::mobility::{ChurnModel, MobilityScenario, MobilityTrace, MotionModel};
     pub use rl_geom::{Point2, Vec2};
+    pub use rl_math::sparse::cg::{
+        conjugate_gradient, conjugate_gradient_with, resolve_preconditioner, CgConfig, CgOutcome,
+        CgWorkspace, IncompleteCholesky, JacobiPreconditioner, Preconditioner, PreconditionerKind,
+    };
+    pub use rl_math::sparse::{
+        dijkstra, dijkstra_multi_into, CsrMatrix, DijkstraWorkspace, LinearOperator,
+    };
     pub use rl_ranging::measurement::{DirectedSample, MeasurementSet, RangingCampaign};
     pub use rl_serve::{Client, ServeConfig, Server};
     pub use rl_signal::env::Environment;
