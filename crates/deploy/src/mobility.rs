@@ -43,6 +43,7 @@ use rl_math::rng::{normal, seeded};
 use rl_math::Fnv1a;
 use rl_net::NodeId;
 use rl_ranging::measurement::MeasurementSet;
+use serde::{Deserialize, Serialize};
 
 use crate::Scenario;
 
@@ -53,7 +54,11 @@ const MEASURE_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
 
 /// How non-anchor nodes move between ticks. Anchors are surveyed
 /// infrastructure and never move.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable so streaming clients can declare their motion model
+/// over the wire (`rl-serve`'s `OpenStream` carries one for custom
+/// mobility sources).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum MotionModel {
     /// Nodes hold their deployment positions (pure-churn scenarios).
     Static,
@@ -73,8 +78,8 @@ pub enum MotionModel {
 }
 
 /// Per-tick join/leave churn over the non-anchor population. Anchors
-/// never churn.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// never churn. Serializable for the same wire uses as [`MotionModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChurnModel {
     /// Probability that an inactive non-anchor rejoins each tick.
     pub join_probability: f64,
@@ -317,6 +322,58 @@ impl MobilityScenario {
     }
 }
 
+/// Names of every serveable mobility preset, in registry order. Like
+/// [`crate::presets::NAMES`] these are the vocabulary `rl-serve` streams
+/// speak: a client opening a stream names one of these instead of
+/// shipping a scenario over the wire, and both sides agree bit-for-bit
+/// on what it means (everything is pinned to
+/// [`PRESET_SEED`](crate::presets::PRESET_SEED)).
+pub const NAMES: &[&str] = &[
+    "town-mobile",
+    "town-waypoint",
+    "parking-lot-churn",
+    "metro-250-mobile",
+];
+
+/// Resolves a mobility preset name to its scenario, or `None` for an
+/// unknown name.
+///
+/// * `"town-mobile"` — the paper's 59-node town under the default
+///   recipe: 0.5 m/tick random walk with light (2%) churn,
+/// * `"town-waypoint"` — the town under 2 m/tick random-waypoint motion
+///   with no churn (pure-motion tracking),
+/// * `"parking-lot-churn"` — the 15-node parking lot held static under
+///   5% join/leave churn (pure-churn tracking),
+/// * `"metro-250-mobile"` — the 250-node metro district under the
+///   default recipe (the tracking benchmark's large cell).
+///
+/// Trace lengths are the [`MobilityScenario::new`] default (30 ticks);
+/// streaming clients generate exactly as many ticks as they push, so the
+/// preset's tick count is a default, not a contract.
+pub fn preset(name: &str) -> Option<MobilityScenario> {
+    let seed = crate::presets::PRESET_SEED;
+    match name {
+        "town-mobile" => Some(MobilityScenario::town(seed)),
+        "town-waypoint" => Some(
+            MobilityScenario::town(seed)
+                .with_motion(MotionModel::Waypoint {
+                    speed_m_per_tick: 2.0,
+                })
+                .with_churn(ChurnModel::none()),
+        ),
+        "parking-lot-churn" => Some(
+            MobilityScenario::new(Scenario::parking_lot(seed))
+                .with_motion(MotionModel::Static)
+                .with_churn(ChurnModel {
+                    join_probability: 0.05,
+                    leave_probability: 0.05,
+                }),
+        ),
+        "metro-250-mobile" => Some(MobilityScenario::metro_250(seed)),
+        _ => None,
+    }
+}
+
 /// A generated mobility run: one observation per tick, ready to feed a
 /// [`Tracker`](rl_core::tracking::Tracker).
 #[derive(Debug, Clone, PartialEq)]
@@ -481,6 +538,48 @@ mod tests {
                 assert!(d.is_finite() && w.is_finite());
             }
         }
+    }
+
+    #[test]
+    fn mobility_presets_resolve_deterministically() {
+        for &name in NAMES {
+            let a = preset(name).unwrap_or_else(|| panic!("preset {name} must resolve"));
+            assert_eq!(
+                Some(a.clone()),
+                preset(name),
+                "{name} must be deterministic"
+            );
+            assert!(!a.base.deployment.is_empty());
+            // Short traces stay generable and deterministic.
+            let short = a.clone().with_ticks(2);
+            assert_eq!(short.trace(1), short.trace(1));
+        }
+        assert_eq!(
+            preset("town"),
+            None,
+            "static presets are a separate registry"
+        );
+        assert_eq!(preset("atlantis-mobile"), None);
+    }
+
+    #[test]
+    fn motion_and_churn_models_round_trip_through_json() {
+        for motion in [
+            MotionModel::Static,
+            MotionModel::RandomWalk { step_m: 0.5 },
+            MotionModel::Waypoint {
+                speed_m_per_tick: 2.0,
+            },
+        ] {
+            let json = serde_json::to_string(&motion).unwrap();
+            assert_eq!(serde_json::from_str::<MotionModel>(&json).unwrap(), motion);
+        }
+        let churn = ChurnModel {
+            join_probability: 0.05,
+            leave_probability: 0.02,
+        };
+        let json = serde_json::to_string(&churn).unwrap();
+        assert_eq!(serde_json::from_str::<ChurnModel>(&json).unwrap(), churn);
     }
 
     #[test]

@@ -141,11 +141,7 @@ fn main() {
     );
 
     // Byte-identical cached frame: issue the same raw request twice.
-    let request = rl_serve::Request::Localize {
-        deployment: "town".into(),
-        solver: "lss".into(),
-        seed: SEED,
-    };
+    let request = rl_serve::Request::localize("town", "lss", SEED);
     let before = client.status().expect("status").cache_hits;
     let cold = client.request_raw(&request).expect("first frame");
     let cached = client.request_raw(&request).expect("second frame");

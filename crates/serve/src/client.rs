@@ -14,16 +14,41 @@
 //! println!("localized {} of {} nodes", reply.localized, reply.positions.len());
 //! # Ok::<(), rl_serve::client::ClientError>(())
 //! ```
+//!
+//! # Streaming sessions
+//!
+//! [`Client::open_stream`] returns a typed [`StreamSession`] handle for
+//! protocol v2's session vocabulary: push observation deltas, read the
+//! evolving solution (full or per-node), and close. The handle closes
+//! its session on drop (best effort); call [`StreamSession::close`] to
+//! observe the result.
+//!
+//! ```no_run
+//! use rl_serve::client::Client;
+//! use rl_serve::protocol::stream::{StreamSource, TrackerSpec};
+//!
+//! let mut client = Client::connect("127.0.0.1:4105")?;
+//! let mut session = client.open_stream(
+//!     StreamSource::Preset { name: "town-mobile".into() },
+//!     TrackerSpec::default(),
+//!     7,
+//! )?;
+//! // ... session.push(&observations)?; session.read()? ...
+//! session.close()?;
+//! # Ok::<(), rl_serve::client::ClientError>(())
+//! ```
 
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use rl_core::tracking::TickObservation;
 use serde::Serialize;
 
 use crate::protocol::{
-    self, FrameError, LocalizeReply, Request, Response, ServerStats, WireError, PROTOCOL_VERSION,
+    self, batch, stream, FrameError, LocalizeReply, Request, Response, ServerStats, WireError,
+    PROTOCOL_VERSION,
 };
 
 /// Errors a client call can produce.
@@ -74,6 +99,7 @@ impl From<FrameError> for ClientError {
 pub struct Client {
     stream: TcpStream,
     max_frame: usize,
+    negotiated: u32,
     /// The server identification string from the handshake, e.g.
     /// `"rl-serve/0.1.0"`.
     pub server: String,
@@ -94,12 +120,14 @@ impl Client {
         let mut client = Client {
             stream,
             max_frame: protocol::DEFAULT_MAX_FRAME,
+            negotiated: PROTOCOL_VERSION,
             server: String::new(),
         };
         match client.roundtrip(&Request::Hello {
             protocol: PROTOCOL_VERSION,
         })? {
-            Response::Hello { server, .. } => {
+            Response::Hello { protocol, server } => {
+                client.negotiated = protocol;
                 client.server = server;
                 Ok(client)
             }
@@ -108,6 +136,11 @@ impl Client {
                 "expected Hello, got {other:?}"
             ))),
         }
+    }
+
+    /// The protocol version this connection negotiated.
+    pub fn negotiated(&self) -> u32 {
+        self.negotiated
     }
 
     /// Sets a read timeout for replies (`None` blocks indefinitely,
@@ -159,15 +192,44 @@ impl Client {
         solver: &str,
         seed: u64,
     ) -> Result<LocalizeReply, ClientError> {
-        match self.roundtrip(&Request::Localize {
-            deployment: deployment.to_string(),
-            solver: solver.to_string(),
-            seed,
-        })? {
-            Response::Localized(reply) => Ok(reply),
+        match self.roundtrip(&Request::localize(deployment, solver, seed))? {
+            Response::Batch(batch::Response::Localized(reply)) => Ok(reply),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Protocol(format!(
                 "expected Localized, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Localizes like [`Client::localize`] but asks only for `nodes`
+    /// (protocol v2). The reply is **byte-identical** to slicing the
+    /// full frame with
+    /// [`Projection::slice`](crate::protocol::batch::Projection::slice),
+    /// and is served against the same cache as full frames.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors
+    /// ([`crate::protocol::ErrorCode::UnknownNode`] for out-of-universe
+    /// ids), or protocol violations.
+    pub fn localize_nodes(
+        &mut self,
+        deployment: &str,
+        solver: &str,
+        seed: u64,
+        nodes: &[u64],
+    ) -> Result<batch::Projection, ClientError> {
+        let request = Request::Batch(batch::Request::Localize {
+            deployment: deployment.to_string(),
+            solver: solver.to_string(),
+            seed,
+            nodes: Some(nodes.to_vec()),
+        });
+        match self.roundtrip(&request)? {
+            Response::Batch(batch::Response::Projected(projection)) => Ok(projection),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Projected, got {other:?}"
             ))),
         }
     }
@@ -178,8 +240,8 @@ impl Client {
     ///
     /// Transport failures, typed server errors, or protocol violations.
     pub fn status(&mut self) -> Result<ServerStats, ClientError> {
-        match self.roundtrip(&Request::Status)? {
-            Response::Status(stats) => Ok(stats),
+        match self.roundtrip(&Request::Batch(batch::Request::Status))? {
+            Response::Batch(batch::Response::Status(stats)) => Ok(stats),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Protocol(format!(
                 "expected Status, got {other:?}"
@@ -194,12 +256,221 @@ impl Client {
     ///
     /// Transport failures, typed server errors, or protocol violations.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        match self.roundtrip(&Request::Shutdown)? {
-            Response::ShuttingDown => Ok(()),
+        match self.roundtrip(&Request::Batch(batch::Request::Shutdown))? {
+            Response::Batch(batch::Response::ShuttingDown) => Ok(()),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Protocol(format!(
                 "expected ShuttingDown, got {other:?}"
             ))),
+        }
+    }
+
+    /// Opens a server-owned streaming session (protocol v2) and returns
+    /// its typed handle. The handle borrows this client — the protocol
+    /// is strict request/response, so session traffic and other requests
+    /// share the connection sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors (unknown source or
+    /// tracker preset, session capacity), or protocol violations.
+    pub fn open_stream(
+        &mut self,
+        source: stream::StreamSource,
+        tracker: stream::TrackerSpec,
+        seed: u64,
+    ) -> Result<StreamSession<'_>, ClientError> {
+        let request = Request::Stream(stream::Request::OpenStream {
+            source,
+            tracker,
+            seed,
+        });
+        match self.roundtrip(&request)? {
+            Response::Stream(stream::Response::StreamOpened { session, universe }) => {
+                Ok(StreamSession {
+                    client: self,
+                    session,
+                    universe,
+                    open: true,
+                })
+            }
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected StreamOpened, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A typed handle over one streaming session (see [`Client::open_stream`]).
+///
+/// The handle sends `CloseStream` when dropped (best effort, result
+/// discarded); call [`StreamSession::close`] to observe the close.
+/// Sessions are server-owned and survive the handle: keep
+/// [`StreamSession::token`] to re-adopt one later with
+/// [`StreamSession::adopt`].
+pub struct StreamSession<'a> {
+    client: &'a mut Client,
+    session: u64,
+    universe: u64,
+    open: bool,
+}
+
+impl std::fmt::Debug for StreamSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSession")
+            .field("session", &self.session)
+            .field("universe", &self.universe)
+            .field("open", &self.open)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> StreamSession<'a> {
+    /// Re-adopts an already-open session by token (e.g. after
+    /// reconnecting): the server keeps session state across connections.
+    /// No request is sent — the first push/read validates the token.
+    pub fn adopt(client: &'a mut Client, token: u64, universe: u64) -> StreamSession<'a> {
+        StreamSession {
+            client,
+            session: token,
+            universe,
+            open: true,
+        }
+    }
+
+    /// The session's capability token.
+    pub fn token(&self) -> u64 {
+        self.session
+    }
+
+    /// The session's node-universe size; every pushed observation must
+    /// declare exactly this universe.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Pushes observation deltas through the session's tracker, in
+    /// order. The reply's fingerprint is deterministic: identical to
+    /// driving a [`StreamingTracker`](rl_core::tracking::StreamingTracker)
+    /// with the same configuration over the same stream, in process.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors (unknown/evicted session,
+    /// full mailbox, invalid observation, failed tick), or protocol
+    /// violations.
+    pub fn push(
+        &mut self,
+        observations: &[TickObservation],
+    ) -> Result<stream::PushReply, ClientError> {
+        let wire = observations
+            .iter()
+            .map(stream::WireObservation::from_observation)
+            .collect::<Vec<_>>();
+        self.push_wire(&wire)
+    }
+
+    /// Pushes already-encoded observations (the zero-copy path for
+    /// callers that hold wire form).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamSession::push`].
+    pub fn push_wire(
+        &mut self,
+        observations: &[stream::WireObservation],
+    ) -> Result<stream::PushReply, ClientError> {
+        let request = Request::Stream(stream::Request::PushTicks {
+            session: self.session,
+            observations: observations.to_vec(),
+        });
+        match self.client.roundtrip(&request)? {
+            Response::Stream(stream::Response::TicksPushed(reply)) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected TicksPushed, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads the session's latest full-frame solution.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors (unknown/evicted session,
+    /// no solution yet), or protocol violations.
+    pub fn read(&mut self) -> Result<stream::SolutionReply, ClientError> {
+        self.read_request(None)
+    }
+
+    /// Reads only `nodes` from the session's latest solution. The reply
+    /// is byte-identical to slicing the full frame, and carries the
+    /// full solution's fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamSession::read`], plus
+    /// [`crate::protocol::ErrorCode::UnknownNode`] for out-of-universe
+    /// ids.
+    pub fn read_nodes(&mut self, nodes: &[u64]) -> Result<stream::SolutionReply, ClientError> {
+        self.read_request(Some(nodes.to_vec()))
+    }
+
+    fn read_request(
+        &mut self,
+        nodes: Option<Vec<u64>>,
+    ) -> Result<stream::SolutionReply, ClientError> {
+        let request = Request::Stream(stream::Request::ReadSolution {
+            session: self.session,
+            nodes,
+        });
+        match self.client.roundtrip(&request)? {
+            Response::Stream(stream::Response::Solution(reply)) => Ok(reply),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Solution, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Closes the session and returns the ticks it consumed. After
+    /// this, the handle is spent (drop does nothing more).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed server errors, or protocol violations.
+    pub fn close(mut self) -> Result<u64, ClientError> {
+        self.open = false;
+        let request = Request::Stream(stream::Request::CloseStream {
+            session: self.session,
+        });
+        match self.client.roundtrip(&request)? {
+            Response::Stream(stream::Response::StreamClosed { ticks, .. }) => Ok(ticks),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "expected StreamClosed, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Releases the handle *without* closing the server-side session
+    /// (for handing the token to another connection).
+    pub fn leak(mut self) -> u64 {
+        self.open = false;
+        self.session
+    }
+}
+
+impl Drop for StreamSession<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            // Best effort: a dead connection just leaves the session to
+            // the server's TTL.
+            let request = Request::Stream(stream::Request::CloseStream {
+                session: self.session,
+            });
+            let _ = self.client.roundtrip(&request);
         }
     }
 }

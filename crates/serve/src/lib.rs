@@ -5,23 +5,32 @@
 //! positioning service answers a *stream* of localization queries
 //! against a fixed set of instantiated deployments. This crate provides
 //! that serving layer, std-only (no async runtime, no network crates —
-//! `std::net` and threads), with three production behaviors:
+//! `std::net` and threads), with four production behaviors:
 //!
-//! * **Concurrency** — a fixed worker pool drains a shared solve queue
+//! * **Concurrency** — a fixed worker pool drains the shared job queues
 //!   ([`server`]).
 //! * **Batching** — concurrent identical requests coalesce into one
 //!   shared solve whose result fans out to every waiter.
 //! * **Caching** — completed solutions land in an LRU keyed by a
 //!   problem/config fingerprint ([`cache`]), and a cached response is
 //!   **bit-identical** to the cold one.
+//! * **Sessions** — protocol v2's `stream` namespace puts the tracking
+//!   layer behind the wire: server-owned
+//!   [`StreamingTracker`](rl_core::tracking::StreamingTracker) sessions
+//!   ([`session`]) fed by client-pushed observation deltas, with TTL
+//!   eviction, bounded per-session mailboxes, and a two-class
+//!   weighted-fair scheduler sharing the worker pool with batch solves.
 //!
 //! Modules:
 //!
-//! * [`protocol`] — the wire protocol: length-prefixed JSON frames,
-//!   request/response schemas, versioning, typed errors,
-//! * [`server`] — [`Server`], the worker pool, coalescing, and the
-//!   graceful lifecycle,
-//! * [`client`] — [`Client`], a blocking handshaken client,
+//! * [`protocol`] — the wire protocol: length-prefixed JSON frames, the
+//!   `batch`/`stream` namespaces, versioning, typed errors,
+//! * [`server`] — [`Server`], the worker pool, coalescing, the
+//!   weighted-fair scheduler, and the graceful lifecycle,
+//! * [`session`] — [`SessionManager`], the
+//!   injectable [`Clock`], and TTL eviction,
+//! * [`client`] — [`Client`], a blocking handshaken client, and its
+//!   typed [`StreamSession`] handle,
 //! * [`cache`] — the LRU solution cache.
 //!
 //! # Example
@@ -54,9 +63,12 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, StreamSession};
 pub use protocol::{
-    ErrorCode, LocalizeReply, Request, Response, ServerStats, WireError, PROTOCOL_VERSION,
+    ErrorCode, LocalizeReply, Request, Response, ServerStats, WireError, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, Server};
+pub use session::{Clock, ManualClock, SessionManager, SystemClock};

@@ -27,90 +27,750 @@
 //! pushes unsolicited frames. A connection serves any number of
 //! requests.
 //!
+//! # Namespaces (v2)
+//!
+//! Version 2 splits the message space into two namespaces plus a small
+//! shared envelope:
+//!
+//! * **[`batch`]** — the stateless requests: one-shot preset solves
+//!   ([`batch::Request::Localize`], optionally projected to a node
+//!   subset), counters, shutdown. Exactly the v1 vocabulary, so a v1
+//!   frame is also a valid v2 frame.
+//! * **[`stream`]** — the session-scoped requests: open a server-owned
+//!   [`StreamingTracker`](rl_core::tracking::StreamingTracker) session,
+//!   push [`TickObservation`](rl_core::tracking::TickObservation)
+//!   deltas through it, read full or per-node solutions, close.
+//! * **Envelope** — [`Request::Hello`] (version negotiation, shared by
+//!   both namespaces) and [`Response::Error`] (typed failures).
+//!
+//! On the wire the envelope is *flat*: the namespace is a type-level
+//! grouping, not a JSON nesting, so `{"Localize":{...}}` means the same
+//! bytes in v1 and v2. This is load-bearing — the v1 compatibility
+//! contract below depends on it.
+//!
 //! # Versioning
 //!
-//! Clients should open with [`Request::Hello`] carrying
-//! [`PROTOCOL_VERSION`]; the server answers [`Response::Hello`] with its
-//! own version, or [`ErrorCode::UnsupportedProtocol`] on a mismatch.
-//! The version is bumped whenever an existing field or variant changes
-//! meaning; purely additive variants keep the version (unknown variants
-//! already fail closed as [`ErrorCode::MalformedFrame`]).
+//! Clients should open with [`Request::Hello`] carrying their version;
+//! the server accepts anything in
+//! [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and answers
+//! [`Response::Hello`] echoing the *negotiated* (client's) version, or
+//! [`ErrorCode::UnsupportedProtocol`] outside that range. A connection
+//! negotiated at v1 is batch-only: stream requests and the v2-only
+//! `nodes` projection are rejected with
+//! [`ErrorCode::UnsupportedProtocol`]. A connection that never says
+//! `Hello` is assumed current-version. **v1 compatibility is a byte
+//! contract**: a v1 client's `Localize` round-trip — request bytes in,
+//! response bytes out — is bit-identical to what a v1 server produced
+//! (pinned by golden-frame tests). The version is bumped whenever an
+//! existing field or variant changes meaning; purely additive variants
+//! and fields keep the version (unknown variants already fail closed as
+//! [`ErrorCode::MalformedFrame`], and absent newer `Option` fields read
+//! as `None`).
 //!
 //! # Determinism
 //!
-//! [`LocalizeReply`] deliberately carries only *deterministic* solve
-//! content — positions, iteration counts, convergence, the server-side
-//! evaluation — and no wall-clock or delivery metadata (whether the
-//! response was served from cache, coalesced into a shared solve, or
-//! solved cold is observable only through [`Request::Status`] counters).
-//! This is what makes the cache contract testable at the byte level: the
-//! response frame for a cached solve is **bit-identical** to the frame
-//! the cold solve produced, because the vendored `serde_json` shim
-//! round-trips every finite `f64` exactly.
+//! Replies deliberately carry only *deterministic* content — positions,
+//! iteration counts, convergence, fingerprints — and no wall-clock or
+//! delivery metadata (whether a response was served from cache,
+//! coalesced, or solved cold is observable only through
+//! [`batch::Request::Status`] counters). This is what makes the cache
+//! and session contracts testable at the byte level: the response frame
+//! for a cached solve is **bit-identical** to the frame the cold solve
+//! produced, a projected reply is bit-identical to slicing the full
+//! frame, and a wire-driven tracker session fingerprint-matches a
+//! directly-driven
+//! [`StreamingTracker`](rl_core::tracking::StreamingTracker) on the
+//! same observation stream, for any worker count — because the vendored
+//! `serde_json` shim round-trips every finite `f64` exactly and nothing
+//! schedule-dependent is ever serialized.
+//!
+//! # Session counters
+//!
+//! [`ServerStats`] exposes the fairness policy's observability surface:
+//!
+//! * `sessions_open` — streaming sessions currently alive (a gauge),
+//! * `sessions_evicted` — sessions reaped by the idle TTL (cumulative),
+//! * `session_capacity` — the configured open-session bound,
+//! * `ticks_served` — observations accepted by session trackers
+//!   (cumulative),
+//! * `batch_queued` / `stream_queued` — per-class queue depths (gauges);
+//!   `queued` is their sum, keeping its v1 meaning of "jobs waiting".
 
 use std::io::{self, Read, Write};
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Current protocol version. See the module docs for the bump policy.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version the server still negotiates. v1 connections
+/// are batch-only (see the module docs).
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Default maximum frame size (1 MiB): comfortably above a metro-1000
 /// [`LocalizeReply`] (~50 KiB), far below anything a hostile or confused
 /// peer could use to balloon server memory.
 pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 
-/// A client-to-server message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A client-to-server message: the version handshake plus the two
+/// namespaces, flattened on the wire (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Version handshake; answered by [`Response::Hello`].
     Hello {
-        /// The client's [`PROTOCOL_VERSION`].
+        /// The client's protocol version (≤ [`PROTOCOL_VERSION`]).
         protocol: u32,
     },
-    /// Localize a preset deployment: answered by [`Response::Localized`]
-    /// (possibly from cache or a coalesced shared solve) or a typed
-    /// error.
-    Localize {
-        /// Preset deployment name (see `rl_deploy::presets`).
-        deployment: String,
-        /// Solver registry name, e.g. `"lss"` or `"mds-map"`.
-        solver: String,
-        /// Measurement-instantiation seed; the same
-        /// `(deployment, solver, seed)` triple always yields the same
-        /// reply, bit for bit.
-        seed: u64,
-    },
-    /// Server statistics snapshot; answered by [`Response::Status`].
-    Status,
-    /// Graceful shutdown: the server finishes in-flight solves, answers
-    /// [`Response::ShuttingDown`], and stops accepting connections.
-    Shutdown,
+    /// A stateless request (localize, status, shutdown).
+    Batch(batch::Request),
+    /// A session-scoped streaming request.
+    Stream(stream::Request),
 }
 
-/// A server-to-client message.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+impl Request {
+    /// Convenience constructor for the common case: a full-frame
+    /// [`batch::Request::Localize`].
+    pub fn localize(deployment: impl Into<String>, solver: impl Into<String>, seed: u64) -> Self {
+        Request::Batch(batch::Request::Localize {
+            deployment: deployment.into(),
+            solver: solver.into(),
+            seed,
+            nodes: None,
+        })
+    }
+}
+
+impl From<batch::Request> for Request {
+    fn from(r: batch::Request) -> Self {
+        Request::Batch(r)
+    }
+}
+
+impl From<stream::Request> for Request {
+    fn from(r: stream::Request) -> Self {
+        Request::Stream(r)
+    }
+}
+
+/// A server-to-client message: the handshake answer, typed errors, and
+/// the two namespaces, flattened on the wire.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Handshake answer.
     Hello {
-        /// The server's [`PROTOCOL_VERSION`].
+        /// The negotiated protocol version this connection will speak.
         protocol: u32,
         /// Human-readable server identifier.
         server: String,
     },
-    /// A completed localize request.
-    Localized(LocalizeReply),
-    /// A statistics snapshot.
-    Status(ServerStats),
-    /// Acknowledges [`Request::Shutdown`]; the connection closes after
-    /// this frame.
-    ShuttingDown,
+    /// A stateless reply.
+    Batch(batch::Response),
+    /// A session-scoped streaming reply.
+    Stream(stream::Response),
     /// A typed failure; the connection stays open unless the error is a
     /// framing-level one ([`ErrorCode::FrameTooLarge`]).
     Error(WireError),
 }
 
-/// The deterministic payload of a completed localize request.
+impl From<batch::Response> for Response {
+    fn from(r: batch::Response) -> Self {
+        Response::Batch(r)
+    }
+}
+
+impl From<stream::Response> for Response {
+    fn from(r: stream::Response) -> Self {
+        Response::Stream(r)
+    }
+}
+
+/// Builds the single-entry map a JSON enum variant encodes to.
+fn variant(name: &str, payload: Value) -> Value {
+    Value::Map(vec![(Value::Str(name.to_string()), payload)])
+}
+
+/// The variant tag of a serialized enum: the string itself for unit
+/// variants, the single key for payload-carrying ones.
+fn variant_tag(value: &Value) -> Result<&str, SerdeError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        Value::Map(entries) if entries.len() == 1 => entries[0]
+            .0
+            .as_str()
+            .ok_or_else(|| SerdeError::custom("enum variant key must be a string")),
+        other => Err(SerdeError::expected("enum variant", other)),
+    }
+}
+
+/// The payload of a payload-carrying variant (the single map value).
+fn variant_payload(value: &Value) -> Result<&Value, SerdeError> {
+    match value {
+        Value::Map(entries) if entries.len() == 1 => Ok(&entries[0].1),
+        other => Err(SerdeError::expected("single-variant map", other)),
+    }
+}
+
+// The envelope's serde impls are manual so the namespaces stay flat on
+// the wire: `Request::Batch(Localize{..})` must serialize to exactly the
+// bytes v1's un-namespaced `Request::Localize{..}` produced. A derived
+// impl would nest (`{"Batch":{"Localize":{..}}}`) and break the byte
+// contract.
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Hello { protocol } => variant(
+                "Hello",
+                Value::Map(vec![(
+                    Value::Str("protocol".to_string()),
+                    protocol.to_value(),
+                )]),
+            ),
+            Request::Batch(r) => r.to_value(),
+            Request::Stream(r) => r.to_value(),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        match variant_tag(value)? {
+            "Hello" => {
+                let payload = variant_payload(value)?;
+                let entries = payload
+                    .as_map()
+                    .ok_or_else(|| SerdeError::expected("Hello payload map", payload))?;
+                Ok(Request::Hello {
+                    protocol: serde::__get_field(entries, "protocol")?,
+                })
+            }
+            "Localize" | "Status" | "Shutdown" => {
+                batch::Request::from_value(value).map(Request::Batch)
+            }
+            "OpenStream" | "PushTicks" | "ReadSolution" | "CloseStream" => {
+                stream::Request::from_value(value).map(Request::Stream)
+            }
+            other => Err(SerdeError::custom(format!(
+                "unknown Request variant `{other}`"
+            ))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Hello { protocol, server } => variant(
+                "Hello",
+                Value::Map(vec![
+                    (Value::Str("protocol".to_string()), protocol.to_value()),
+                    (Value::Str("server".to_string()), server.to_value()),
+                ]),
+            ),
+            Response::Batch(r) => r.to_value(),
+            Response::Stream(r) => r.to_value(),
+            // Tuple-variant encoding, matching v1's derived impl.
+            Response::Error(e) => variant("Error", Value::Seq(vec![e.to_value()])),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        match variant_tag(value)? {
+            "Hello" => {
+                let payload = variant_payload(value)?;
+                let entries = payload
+                    .as_map()
+                    .ok_or_else(|| SerdeError::expected("Hello payload map", payload))?;
+                Ok(Response::Hello {
+                    protocol: serde::__get_field(entries, "protocol")?,
+                    server: serde::__get_field(entries, "server")?,
+                })
+            }
+            "Error" => {
+                let payload = variant_payload(value)?;
+                let items = payload
+                    .as_seq()
+                    .ok_or_else(|| SerdeError::expected("Error payload sequence", payload))?;
+                match items {
+                    [e] => Ok(Response::Error(WireError::from_value(e)?)),
+                    _ => Err(SerdeError::custom("Error payload must hold one value")),
+                }
+            }
+            "Localized" | "Projected" | "Status" | "ShuttingDown" => {
+                batch::Response::from_value(value).map(Response::Batch)
+            }
+            "StreamOpened" | "TicksPushed" | "Solution" | "StreamClosed" => {
+                stream::Response::from_value(value).map(Response::Stream)
+            }
+            other => Err(SerdeError::custom(format!(
+                "unknown Response variant `{other}`"
+            ))),
+        }
+    }
+}
+
+pub mod batch {
+    //! The stateless namespace: one-shot preset solves and server
+    //! control. This is exactly the v1 vocabulary — every v1 frame is a
+    //! valid frame of this namespace, byte for byte — plus the additive
+    //! `nodes` projection on [`Request::Localize`].
+
+    use super::{ErrorCode, LocalizeReply, ServerStats, WireError};
+    use serde::{Deserialize, Serialize};
+
+    /// A stateless client-to-server message.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum Request {
+        /// Localize a preset deployment: answered by
+        /// [`Response::Localized`] (possibly from cache or a coalesced
+        /// shared solve), [`Response::Projected`] when `nodes` asks for
+        /// a subset, or a typed error.
+        Localize {
+            /// Preset deployment name (see `rl_deploy::presets`).
+            deployment: String,
+            /// Solver registry name, e.g. `"lss"` or `"mds-map"`.
+            solver: String,
+            /// Measurement-instantiation seed; the same
+            /// `(deployment, solver, seed)` triple always yields the
+            /// same reply, bit for bit.
+            seed: u64,
+            /// Optional per-node projection (v2): answer with only these
+            /// node ids' positions, served against the same cache as
+            /// full frames and **byte-identical** to slicing one
+            /// ([`Projection::slice`]). `None` (or absent, as every v1
+            /// frame has it) returns the full frame.
+            nodes: Option<Vec<u64>>,
+        },
+        /// Server statistics snapshot; answered by [`Response::Status`].
+        Status,
+        /// Graceful shutdown: the server finishes in-flight work,
+        /// answers [`Response::ShuttingDown`], and stops accepting
+        /// connections.
+        Shutdown,
+    }
+
+    /// A stateless server-to-client message.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum Response {
+        /// A completed full-frame localize request.
+        Localized(LocalizeReply),
+        /// A completed projected localize request (v2).
+        Projected(Projection),
+        /// A statistics snapshot.
+        Status(ServerStats),
+        /// Acknowledges [`Request::Shutdown`]; the connection closes
+        /// after this frame.
+        ShuttingDown,
+    }
+
+    /// A per-node slice of a [`LocalizeReply`]: the answer to a
+    /// `Localize` with `nodes`. Carries the same deterministic content
+    /// as the full frame, restricted to the requested ids.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct Projection {
+        /// Echo of the requested deployment preset.
+        pub deployment: String,
+        /// Echo of the requested solver.
+        pub solver: String,
+        /// Echo of the request seed.
+        pub seed: u64,
+        /// `"absolute"` or `"relative"` — the coordinate frame.
+        pub frame: String,
+        /// Echo of the requested node ids, in request order.
+        pub nodes: Vec<u64>,
+        /// Estimated position per requested id, aligned with `nodes`.
+        pub positions: Vec<Option<(f64, f64)>>,
+        /// Nodes with a position estimate, out of `nodes.len()`.
+        pub localized: u64,
+    }
+
+    impl Projection {
+        /// Slices a full reply down to `nodes`. This is the *defining*
+        /// computation of a projection: the server answers a projected
+        /// request by running exactly this over the same (possibly
+        /// cached) full reply, so a served [`Response::Projected`] frame
+        /// is byte-identical to slicing the full frame client-side.
+        ///
+        /// # Errors
+        ///
+        /// [`ErrorCode::UnknownNode`] when an id is outside the reply's
+        /// universe.
+        pub fn slice(reply: &LocalizeReply, nodes: &[u64]) -> Result<Projection, WireError> {
+            let mut positions = Vec::with_capacity(nodes.len());
+            let mut localized = 0u64;
+            for &id in nodes {
+                let slot = usize::try_from(id)
+                    .ok()
+                    .filter(|&i| i < reply.positions.len())
+                    .ok_or_else(|| {
+                        WireError::new(
+                            ErrorCode::UnknownNode,
+                            format!(
+                                "node {id} outside the {}-node deployment",
+                                reply.positions.len()
+                            ),
+                        )
+                    })?;
+                let p = reply.positions[slot];
+                if p.is_some() {
+                    localized += 1;
+                }
+                positions.push(p);
+            }
+            Ok(Projection {
+                deployment: reply.deployment.clone(),
+                solver: reply.solver.clone(),
+                seed: reply.seed,
+                frame: reply.frame.clone(),
+                nodes: nodes.to_vec(),
+                positions,
+                localized,
+            })
+        }
+    }
+}
+
+pub mod stream {
+    //! The session-scoped namespace: server-owned
+    //! [`StreamingTracker`](rl_core::tracking::StreamingTracker)
+    //! sessions driven by client-pushed observation deltas.
+    //!
+    //! # Session lifecycle
+    //!
+    //! ```text
+    //! OpenStream ──► StreamOpened{session}          (token = capability)
+    //!     PushTicks{session} ──► TicksPushed        (any number of times)
+    //!     ReadSolution{session} ──► Solution        (full or per-node)
+    //! CloseStream{session} ──► StreamClosed
+    //! ```
+    //!
+    //! Sessions are server-owned and outlive connections: the token is
+    //! the capability, so a client may reconnect and continue a session.
+    //! Idle sessions are reaped by a TTL
+    //! ([`ErrorCode::SessionEvicted`] on later use); unknown or closed
+    //! tokens answer [`ErrorCode::UnknownSession`].
+    //!
+    //! # Determinism
+    //!
+    //! A session's replies are a pure function of
+    //! `(OpenStream, observation sequence)`: [`PushReply::fingerprint`]
+    //! and [`SolutionReply::fingerprint`] match
+    //! [`solution_fingerprint`](rl_core::tracking::solution_fingerprint)
+    //! of a directly-driven tracker on the same stream, for any worker
+    //! count and any batch/stream interleaving.
+
+    use rl_core::tracking::TickObservation;
+    use rl_core::types::{Anchor, NodeId};
+    use rl_deploy::mobility::{ChurnModel, MotionModel};
+    use rl_geom::Point2;
+    use rl_ranging::measurement::MeasurementSet;
+    use serde::{Deserialize, Serialize};
+
+    use super::{ErrorCode, WireError};
+
+    /// Largest node universe a pushed observation may declare. Bounds
+    /// server-side allocation before any validation has run; far above
+    /// every preset (metro-2500) and far below anything that could
+    /// balloon memory.
+    pub const MAX_UNIVERSE: u64 = 100_000;
+
+    /// A session-scoped client-to-server message.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum Request {
+        /// Creates a server-owned tracker session; answered by
+        /// [`Response::StreamOpened`] carrying the session token.
+        OpenStream {
+            /// What network the observations will describe (fixes the
+            /// node universe and the session's identity).
+            source: StreamSource,
+            /// Tracker configuration.
+            tracker: TrackerSpec,
+            /// Tracker seed: the base of the session's cold-solve
+            /// streams (see `rl_core::tracking::cold_seed`).
+            seed: u64,
+        },
+        /// Feeds observation deltas through the session's tracker, in
+        /// order; answered by [`Response::TicksPushed`].
+        PushTicks {
+            /// Session token from [`Response::StreamOpened`].
+            session: u64,
+            /// Observations, consumed in sequence.
+            observations: Vec<WireObservation>,
+        },
+        /// Reads the session's latest solution; answered by
+        /// [`Response::Solution`].
+        ReadSolution {
+            /// Session token.
+            session: u64,
+            /// `None` for the full frame, or node ids for a per-node
+            /// partial projection (byte-identical to slicing the full
+            /// frame).
+            nodes: Option<Vec<u64>>,
+        },
+        /// Tears the session down; answered by
+        /// [`Response::StreamClosed`].
+        CloseStream {
+            /// Session token.
+            session: u64,
+        },
+    }
+
+    /// A session-scoped server-to-client message.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum Response {
+        /// The session exists; `session` is the capability for every
+        /// later request.
+        StreamOpened {
+            /// Session token (fingerprint-derived, see the server docs).
+            session: u64,
+            /// The session's node-universe size; every pushed
+            /// observation must declare exactly this universe.
+            universe: u64,
+        },
+        /// Observations were consumed.
+        TicksPushed(PushReply),
+        /// The latest solution (full or projected).
+        Solution(SolutionReply),
+        /// The session is gone; its token is now unknown.
+        StreamClosed {
+            /// Echo of the closed session's token.
+            session: u64,
+            /// Observations the session consumed over its lifetime.
+            ticks: u64,
+        },
+    }
+
+    /// What network a session's observations describe. Part of the
+    /// session's identity (folded into the token fingerprint).
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub enum StreamSource {
+        /// A named mobility preset (see `rl_deploy::mobility::NAMES`);
+        /// both sides agree bit-for-bit on what it means.
+        Preset {
+            /// Mobility preset name, e.g. `"town-mobile"`.
+            name: String,
+        },
+        /// A static deployment preset set in motion by a
+        /// client-declared recipe.
+        Custom {
+            /// Static deployment preset name (see
+            /// `rl_deploy::presets::NAMES`), e.g. `"town"`.
+            deployment: String,
+            /// Motion model the client will simulate.
+            motion: MotionModel,
+            /// Churn model the client will simulate.
+            churn: ChurnModel,
+        },
+    }
+
+    /// Wire-side tracker configuration. Maps onto
+    /// [`TrackerConfig`](rl_core::tracking::TrackerConfig) server-side.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct TrackerSpec {
+        /// Configuration preset: `"default"`
+        /// ([`TrackerConfig::new`](rl_core::tracking::TrackerConfig::new))
+        /// or `"metro"`
+        /// ([`TrackerConfig::metro`](rl_core::tracking::TrackerConfig::metro)).
+        pub preset: String,
+        /// Overrides the warm path's Gauss–Newton step budget per tick.
+        pub steps_per_tick: Option<u64>,
+        /// Overrides the cold-restart churn threshold.
+        pub churn_restart_fraction: Option<f64>,
+    }
+
+    impl Default for TrackerSpec {
+        fn default() -> Self {
+            TrackerSpec {
+                preset: "default".to_string(),
+                steps_per_tick: None,
+                churn_restart_fraction: None,
+            }
+        }
+    }
+
+    /// One tick's observation delta in wire form: the JSON-friendly
+    /// mirror of [`TickObservation`]. Conversion is lossless —
+    /// [`WireObservation::from_observation`] then
+    /// [`WireObservation::to_observation`] reproduces the original
+    /// exactly (the measurement set iterates sorted, so reconstruction
+    /// is order-stable).
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct WireObservation {
+        /// Observation index in the stream, starting at 0.
+        pub tick: u64,
+        /// Node-universe size; must match the session's.
+        pub universe: u64,
+        /// Weighted measured edges as `(a, b, distance_m, weight)` with
+        /// `a < b`.
+        pub edges: Vec<(u64, u64, f64, f64)>,
+        /// Surveyed nodes as `(id, x, y)`.
+        pub anchors: Vec<(u64, f64, f64)>,
+        /// Every active slot this tick, ascending and unique.
+        pub active: Vec<u64>,
+        /// Slots that became active this tick.
+        pub joined: Vec<u64>,
+        /// Slots that became inactive this tick.
+        pub left: Vec<u64>,
+        /// Ground-truth positions for the whole universe, when the
+        /// source is a simulation (scaffolding for protocol-driven cold
+        /// solvers and evaluation, never an input to estimates).
+        pub truth: Option<Vec<(f64, f64)>>,
+    }
+
+    impl WireObservation {
+        /// Encodes a [`TickObservation`] for the wire.
+        pub fn from_observation(obs: &TickObservation) -> WireObservation {
+            WireObservation {
+                tick: obs.tick,
+                universe: obs.measurements.node_count() as u64,
+                edges: obs
+                    .measurements
+                    .iter_weighted()
+                    .map(|(a, b, d, w)| (a.index() as u64, b.index() as u64, d, w))
+                    .collect(),
+                anchors: obs
+                    .anchors
+                    .iter()
+                    .map(|a| (a.id.index() as u64, a.position.x, a.position.y))
+                    .collect(),
+                active: obs.active.iter().map(|id| id.index() as u64).collect(),
+                joined: obs.joined.iter().map(|id| id.index() as u64).collect(),
+                left: obs.left.iter().map(|id| id.index() as u64).collect(),
+                truth: obs
+                    .truth
+                    .as_ref()
+                    .map(|t| t.iter().map(|p| (p.x, p.y)).collect()),
+            }
+        }
+
+        /// Decodes back into a solver-ready [`TickObservation`],
+        /// validating everything that could make the server allocate or
+        /// index out of bounds. Semantic validation (duplicate actives,
+        /// connectivity) stays with the tracker, which already types
+        /// those errors.
+        ///
+        /// # Errors
+        ///
+        /// [`ErrorCode::InvalidObservation`] with a description of the
+        /// first violation.
+        pub fn to_observation(&self) -> Result<TickObservation, WireError> {
+            let invalid = |what: String| WireError::new(ErrorCode::InvalidObservation, what);
+            if self.universe > MAX_UNIVERSE {
+                return Err(invalid(format!(
+                    "universe of {} exceeds the {MAX_UNIVERSE}-slot limit",
+                    self.universe
+                )));
+            }
+            let n = self.universe as usize;
+            let slot = |id: u64, what: &str| -> Result<NodeId, WireError> {
+                if id < self.universe {
+                    Ok(NodeId(id as usize))
+                } else {
+                    Err(invalid(format!(
+                        "{what} id {id} outside the {n}-slot universe"
+                    )))
+                }
+            };
+            let mut measurements = MeasurementSet::new(n);
+            for &(a, b, d, w) in &self.edges {
+                let (a, b) = (slot(a, "edge")?, slot(b, "edge")?);
+                if a == b {
+                    return Err(invalid(format!("self-edge on node {}", a.index())));
+                }
+                if !d.is_finite() || !w.is_finite() {
+                    return Err(invalid(format!(
+                        "non-finite measurement on edge ({}, {})",
+                        a.index(),
+                        b.index()
+                    )));
+                }
+                measurements.insert_weighted(a, b, d, w);
+            }
+            let mut anchors = Vec::with_capacity(self.anchors.len());
+            for &(id, x, y) in &self.anchors {
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(invalid(format!("non-finite anchor position for node {id}")));
+                }
+                anchors.push(Anchor::new(slot(id, "anchor")?, Point2::new(x, y)));
+            }
+            let ids = |list: &[u64], what: &str| -> Result<Vec<NodeId>, WireError> {
+                list.iter().map(|&id| slot(id, what)).collect()
+            };
+            let truth = match &self.truth {
+                None => None,
+                Some(points) => {
+                    if points.len() != n {
+                        return Err(invalid(format!(
+                            "truth covers {} of {n} slots",
+                            points.len()
+                        )));
+                    }
+                    let mut truth = Vec::with_capacity(n);
+                    for &(x, y) in points {
+                        if !x.is_finite() || !y.is_finite() {
+                            return Err(invalid("non-finite truth position".to_string()));
+                        }
+                        truth.push(Point2::new(x, y));
+                    }
+                    Some(truth)
+                }
+            };
+            Ok(TickObservation {
+                tick: self.tick,
+                measurements,
+                anchors,
+                active: ids(&self.active, "active")?,
+                joined: ids(&self.joined, "joined")?,
+                left: ids(&self.left, "left")?,
+                truth,
+            })
+        }
+    }
+
+    /// The deterministic outcome of a [`Request::PushTicks`].
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct PushReply {
+        /// Echo of the session token.
+        pub session: u64,
+        /// Observations this push fed through the tracker successfully.
+        pub accepted: u64,
+        /// Observations the tracker has consumed over its lifetime
+        /// (errors included — the cold-seed contract counts them).
+        pub ticks: u64,
+        /// Lifetime warm (incremental) updates.
+        pub warm_updates: u64,
+        /// Lifetime cold (from-scratch) solves.
+        pub cold_solves: u64,
+        /// [`solution_fingerprint`](rl_core::tracking::solution_fingerprint)
+        /// of the tracker's latest solution after this push.
+        pub fingerprint: u64,
+    }
+
+    /// The deterministic payload of a [`Request::ReadSolution`].
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    pub struct SolutionReply {
+        /// Echo of the session token.
+        pub session: u64,
+        /// Observations consumed when this solution was produced.
+        pub ticks: u64,
+        /// `"absolute"` or `"relative"`.
+        pub frame: String,
+        /// Echo of the projection (`None` = full frame).
+        pub nodes: Option<Vec<u64>>,
+        /// Estimated positions: the full universe in id order, or
+        /// aligned with `nodes` when projected.
+        pub positions: Vec<Option<(f64, f64)>>,
+        /// Nodes with an estimate, out of `positions.len()`.
+        pub localized: u64,
+        /// [`solution_fingerprint`](rl_core::tracking::solution_fingerprint)
+        /// of the **full** latest solution (identical whether or not the
+        /// read was projected).
+        pub fingerprint: u64,
+    }
+}
+
+/// The deterministic payload of a completed full-frame localize request.
 ///
 /// Coordinates are finite `f64`s (the server refuses to serialize
 /// non-finite positions — see [`ErrorCode::SolveFailed`]), so the JSON
@@ -142,10 +802,12 @@ pub struct LocalizeReply {
     pub localized: u64,
 }
 
-/// Server counters reported by [`Response::Status`].
+/// Server counters reported by [`batch::Response::Status`].
 ///
-/// Counters are cumulative since server start and monotone; the
-/// cache/batching tests read them as deltas around a request burst.
+/// Counters are cumulative since server start and monotone unless
+/// marked as gauges; the cache/batching/fairness tests read them as
+/// deltas around a request burst. The session-related fields are
+/// documented in the [module docs](self) under "Session counters".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// The server's [`PROTOCOL_VERSION`].
@@ -173,13 +835,26 @@ pub struct ServerStats {
     pub cache_entries: u64,
     /// Solution-cache capacity.
     pub cache_capacity: u64,
-    /// Jobs currently waiting in the queue (a gauge, not cumulative).
+    /// Jobs currently waiting across both queues (a gauge; the sum of
+    /// `batch_queued` and `stream_queued`).
     pub queued: u64,
-    /// Configured job-queue depth bound; `0` means unbounded.
+    /// Configured per-class job-queue depth bound; `0` means unbounded.
     pub queue_depth: u64,
-    /// Localize requests rejected with [`ErrorCode::Overloaded`] because
-    /// the queue was full.
+    /// Requests rejected with [`ErrorCode::Overloaded`] (full queue,
+    /// full session mailbox, or session capacity).
     pub overloaded: u64,
+    /// Streaming sessions currently alive (a gauge).
+    pub sessions_open: u64,
+    /// Sessions reaped by the idle TTL (cumulative).
+    pub sessions_evicted: u64,
+    /// Configured open-session capacity.
+    pub session_capacity: u64,
+    /// Observations accepted by session trackers (cumulative).
+    pub ticks_served: u64,
+    /// Batch jobs waiting in their queue (a gauge).
+    pub batch_queued: u64,
+    /// Streaming tick jobs waiting in their queue (a gauge).
+    pub stream_queued: u64,
 }
 
 /// A typed error response.
@@ -218,24 +893,39 @@ pub enum ErrorCode {
     MalformedFrame,
     /// The frame's declared length exceeded the receiver's maximum.
     FrameTooLarge,
-    /// [`Request::Hello`] carried an incompatible protocol version.
+    /// [`Request::Hello`] carried an unsupported protocol version, or a
+    /// v1-negotiated connection sent a v2-only request (a stream request
+    /// or a `nodes` projection).
     UnsupportedProtocol,
-    /// [`Request::Localize`] named a deployment outside the preset
-    /// registry.
+    /// The request named a deployment or mobility source outside the
+    /// preset registries.
     UnknownDeployment,
-    /// [`Request::Localize`] named a solver outside the registry.
+    /// [`batch::Request::Localize`] named a solver outside the registry,
+    /// or `OpenStream` named an unknown tracker preset.
     UnknownSolver,
-    /// The solver returned an error, or produced positions that cannot
-    /// be represented on the wire (non-finite coordinates).
+    /// The solver returned an error, produced positions that cannot be
+    /// represented on the wire (non-finite coordinates), or a solution
+    /// was read from a session before its first successful tick.
     SolveFailed,
-    /// The server is shutting down and no longer accepts localize
-    /// requests.
+    /// The server is shutting down and no longer accepts work.
     ShuttingDown,
-    /// The job queue is at its configured depth bound; the request was
-    /// rejected without being enqueued. Retry after a backoff — the
-    /// connection stays open. (Additive in-place of a version bump, per
-    /// the module-docs policy.)
+    /// A queue or quota is at its bound: the job queue, the per-session
+    /// mailbox, or the open-session capacity. The request was rejected
+    /// without being accepted; retry after a backoff — the connection
+    /// stays open.
     Overloaded,
+    /// A stream request named a session token the server does not know
+    /// (never opened, or already closed). Additive in v2.
+    UnknownSession,
+    /// A stream request named a session the idle TTL reaped. The state
+    /// is gone — reopen and replay to continue. Additive in v2.
+    SessionEvicted,
+    /// A projection named a node id outside the deployment's universe.
+    /// Additive in v2.
+    UnknownNode,
+    /// A pushed observation failed wire-level validation (universe
+    /// mismatch, out-of-range ids, non-finite numbers). Additive in v2.
+    InvalidObservation,
 }
 
 /// Frame-level read failures (transport, not application, errors).
@@ -422,25 +1112,8 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn requests_and_responses_round_trip_through_json() {
-        let requests = [
-            Request::Hello {
-                protocol: PROTOCOL_VERSION,
-            },
-            Request::Localize {
-                deployment: "town".into(),
-                solver: "lss".into(),
-                seed: 7,
-            },
-            Request::Status,
-            Request::Shutdown,
-        ];
-        for req in &requests {
-            let json = serde_json::to_string(req).unwrap();
-            assert_eq!(&serde_json::from_str::<Request>(&json).unwrap(), req);
-        }
-        let reply = Response::Localized(LocalizeReply {
+    fn sample_reply() -> LocalizeReply {
+        LocalizeReply {
             deployment: "town".into(),
             solver: "lss".into(),
             seed: 7,
@@ -451,12 +1124,278 @@ mod tests {
             converged: Some(true),
             mean_error_m: Some(0.75),
             localized: 1,
-        });
-        let json = serde_json::to_string(&reply).unwrap();
-        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), reply);
-        let err = Response::Error(WireError::new(ErrorCode::UnknownSolver, "no such solver"));
-        let json = serde_json::to_string(&err).unwrap();
-        assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), err);
+        }
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_json() {
+        let requests = [
+            Request::Hello {
+                protocol: PROTOCOL_VERSION,
+            },
+            Request::localize("town", "lss", 7),
+            Request::Batch(batch::Request::Localize {
+                deployment: "town".into(),
+                solver: "lss".into(),
+                seed: 7,
+                nodes: Some(vec![0, 3, 5]),
+            }),
+            Request::Batch(batch::Request::Status),
+            Request::Batch(batch::Request::Shutdown),
+            Request::Stream(stream::Request::OpenStream {
+                source: stream::StreamSource::Preset {
+                    name: "town-mobile".into(),
+                },
+                tracker: stream::TrackerSpec::default(),
+                seed: 11,
+            }),
+            Request::Stream(stream::Request::OpenStream {
+                source: stream::StreamSource::Custom {
+                    deployment: "town".into(),
+                    motion: rl_deploy::mobility::MotionModel::RandomWalk { step_m: 0.5 },
+                    churn: rl_deploy::mobility::ChurnModel::light(),
+                },
+                tracker: stream::TrackerSpec {
+                    preset: "metro".into(),
+                    steps_per_tick: Some(6),
+                    churn_restart_fraction: None,
+                },
+                seed: 11,
+            }),
+            Request::Stream(stream::Request::PushTicks {
+                session: 99,
+                observations: vec![],
+            }),
+            Request::Stream(stream::Request::ReadSolution {
+                session: 99,
+                nodes: Some(vec![1, 2]),
+            }),
+            Request::Stream(stream::Request::CloseStream { session: 99 }),
+        ];
+        for req in &requests {
+            let json = serde_json::to_string(req).unwrap();
+            assert_eq!(&serde_json::from_str::<Request>(&json).unwrap(), req);
+        }
+        let responses = [
+            Response::Hello {
+                protocol: 2,
+                server: "rl-serve/test".into(),
+            },
+            Response::Batch(batch::Response::Localized(sample_reply())),
+            Response::Batch(batch::Response::Projected(
+                batch::Projection::slice(&sample_reply(), &[1, 0]).unwrap(),
+            )),
+            Response::Batch(batch::Response::ShuttingDown),
+            Response::Stream(stream::Response::StreamOpened {
+                session: 5,
+                universe: 59,
+            }),
+            Response::Stream(stream::Response::TicksPushed(stream::PushReply {
+                session: 5,
+                accepted: 3,
+                ticks: 9,
+                warm_updates: 8,
+                cold_solves: 1,
+                fingerprint: 0xDEAD,
+            })),
+            Response::Stream(stream::Response::Solution(stream::SolutionReply {
+                session: 5,
+                ticks: 9,
+                frame: "absolute".into(),
+                nodes: None,
+                positions: vec![Some((1.0, 2.0)), None],
+                localized: 1,
+                fingerprint: 0xDEAD,
+            })),
+            Response::Stream(stream::Response::StreamClosed {
+                session: 5,
+                ticks: 9,
+            }),
+            Response::Error(WireError::new(ErrorCode::UnknownSession, "no such session")),
+        ];
+        for resp in &responses {
+            let json = serde_json::to_string(resp).unwrap();
+            assert_eq!(&serde_json::from_str::<Response>(&json).unwrap(), resp);
+        }
+    }
+
+    /// The v1 compatibility contract, pinned at the byte level: v1
+    /// request literals decode, and v1-vocabulary responses encode to
+    /// exactly the frames a v1 server produced (derived-enum encoding:
+    /// unit variant = string, tuple variant = single-key map to a list,
+    /// struct variant/field order = declaration order).
+    #[test]
+    fn v1_frames_stay_decodable_and_byte_identical() {
+        // v1 requests (no `nodes` field existed) decode into the batch
+        // namespace with `nodes: None`.
+        let localize: Request =
+            serde_json::from_str(r#"{"Localize":{"deployment":"town","solver":"lss","seed":7}}"#)
+                .unwrap();
+        assert_eq!(localize, Request::localize("town", "lss", 7));
+        assert_eq!(
+            serde_json::from_str::<Request>(r#""Status""#).unwrap(),
+            Request::Batch(batch::Request::Status)
+        );
+        assert_eq!(
+            serde_json::from_str::<Request>(r#""Shutdown""#).unwrap(),
+            Request::Batch(batch::Request::Shutdown)
+        );
+        assert_eq!(
+            serde_json::from_str::<Request>(r#"{"Hello":{"protocol":1}}"#).unwrap(),
+            Request::Hello { protocol: 1 }
+        );
+
+        // v1 response vocabulary encodes byte-identically through the
+        // v2 envelope.
+        let reply = LocalizeReply {
+            deployment: "d".into(),
+            solver: "s".into(),
+            seed: 1,
+            frame: "absolute".into(),
+            positions: vec![Some((1.5, -2.0)), None],
+            iterations: 3,
+            residual: None,
+            converged: Some(false),
+            mean_error_m: None,
+            localized: 1,
+        };
+        assert_eq!(
+            serde_json::to_string(&Response::Batch(batch::Response::Localized(reply))).unwrap(),
+            concat!(
+                r#"{"Localized":[{"deployment":"d","solver":"s","seed":1,"#,
+                r#""frame":"absolute","positions":[[1.5,-2.0],null],"#,
+                r#""iterations":3,"residual":null,"converged":false,"#,
+                r#""mean_error_m":null,"localized":1}]}"#
+            )
+        );
+        assert_eq!(
+            serde_json::to_string(&Response::Batch(batch::Response::ShuttingDown)).unwrap(),
+            r#""ShuttingDown""#
+        );
+        assert_eq!(
+            serde_json::to_string(&Response::Hello {
+                protocol: 1,
+                server: "rl-serve/x".into(),
+            })
+            .unwrap(),
+            r#"{"Hello":{"protocol":1,"server":"rl-serve/x"}}"#
+        );
+        assert_eq!(
+            serde_json::to_string(&Response::Error(WireError::new(
+                ErrorCode::Overloaded,
+                "busy"
+            )))
+            .unwrap(),
+            r#"{"Error":[{"code":"Overloaded","message":"busy"}]}"#
+        );
+    }
+
+    #[test]
+    fn projections_slice_full_replies_exactly() {
+        let reply = sample_reply();
+        let p = batch::Projection::slice(&reply, &[1, 0, 0]).unwrap();
+        assert_eq!(p.nodes, vec![1, 0, 0]);
+        assert_eq!(
+            p.positions,
+            vec![None, Some((1.25, -0.5)), Some((1.25, -0.5))]
+        );
+        assert_eq!(p.localized, 2);
+        assert_eq!((p.frame.as_str(), p.seed), ("relative", 7));
+        // Out-of-universe ids are typed errors.
+        assert_eq!(
+            batch::Projection::slice(&reply, &[2]).unwrap_err().code,
+            ErrorCode::UnknownNode
+        );
+        // The empty projection is legal (a liveness probe).
+        assert_eq!(batch::Projection::slice(&reply, &[]).unwrap().localized, 0);
+    }
+
+    #[test]
+    fn wire_observations_round_trip_losslessly() {
+        let trace = rl_deploy::mobility::preset("town-mobile")
+            .unwrap()
+            .with_ticks(3)
+            .trace(5);
+        for obs in trace.iter() {
+            let wire = stream::WireObservation::from_observation(obs);
+            let json = serde_json::to_string(&wire).unwrap();
+            let back: stream::WireObservation = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, wire);
+            assert_eq!(&back.to_observation().unwrap(), obs);
+        }
+    }
+
+    #[test]
+    fn wire_observations_validate_before_allocating() {
+        let ok = stream::WireObservation {
+            tick: 0,
+            universe: 4,
+            edges: vec![(0, 1, 9.0, 1.0)],
+            anchors: vec![(0, 0.0, 0.0)],
+            active: vec![0, 1],
+            joined: vec![],
+            left: vec![],
+            truth: None,
+        };
+        assert!(ok.to_observation().is_ok());
+        let cases: Vec<(&str, stream::WireObservation)> = vec![
+            (
+                "oversized universe",
+                stream::WireObservation {
+                    universe: stream::MAX_UNIVERSE + 1,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "edge outside universe",
+                stream::WireObservation {
+                    edges: vec![(0, 4, 9.0, 1.0)],
+                    ..ok.clone()
+                },
+            ),
+            (
+                "self edge",
+                stream::WireObservation {
+                    edges: vec![(1, 1, 9.0, 1.0)],
+                    ..ok.clone()
+                },
+            ),
+            (
+                "non-finite range",
+                stream::WireObservation {
+                    edges: vec![(0, 1, f64::NAN, 1.0)],
+                    ..ok.clone()
+                },
+            ),
+            (
+                "anchor outside universe",
+                stream::WireObservation {
+                    anchors: vec![(9, 0.0, 0.0)],
+                    ..ok.clone()
+                },
+            ),
+            (
+                "active outside universe",
+                stream::WireObservation {
+                    active: vec![0, 7],
+                    ..ok.clone()
+                },
+            ),
+            (
+                "short truth",
+                stream::WireObservation {
+                    truth: Some(vec![(0.0, 0.0)]),
+                    ..ok.clone()
+                },
+            ),
+        ];
+        for (what, bad) in cases {
+            assert_eq!(
+                bad.to_observation().unwrap_err().code,
+                ErrorCode::InvalidObservation,
+                "{what} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -493,5 +1432,7 @@ mod tests {
         assert!(decode::<Request>(b"not json").is_err());
         assert!(decode::<Request>(&[0xFF, 0xFE]).is_err());
         assert!(decode::<Request>(br#"{"NoSuchVariant":{}}"#).is_err());
+        assert!(decode::<Response>(br#"{"Error":[]}"#).is_err());
+        assert!(decode::<Response>(br#"{"Error":[{},{}]}"#).is_err());
     }
 }

@@ -3,11 +3,11 @@
 //! A [`Server`] owns instantiated deployment state (every
 //! [`rl_deploy::presets`] scenario, instantiated into solver-ready
 //! [`Problem`]s on demand and memoized) and serves
-//! [`Request`]s over TCP with three production behaviors:
+//! [`Request`]s over TCP with four production behaviors:
 //!
 //! 1. **Concurrency** — a fixed pool of solver workers (sized by
 //!    [`rl_net::pool::resolve_workers`], the same resolution rule as the
-//!    campaign and simulator pools) drains a shared request queue, so N
+//!    campaign and simulator pools) drains the shared job queues, so N
 //!    clients are served in parallel while connection threads stay thin
 //!    (framing and dispatch only).
 //! 2. **Batching** — concurrent requests for the same
@@ -19,25 +19,39 @@
 //!    problem/config fingerprint ([`job_key`], built on
 //!    [`rl_math::fingerprint`]); a repeat request is answered from
 //!    cache, and because replies carry only deterministic solve content,
-//!    the cached response frame is **bit-identical** to the cold one.
+//!    the cached response frame is **bit-identical** to the cold one. A
+//!    projected request (`Localize` with `nodes`) is served against the
+//!    same cache by slicing the full reply
+//!    ([`Projection::slice`](crate::protocol::batch::Projection::slice)).
+//! 4. **Sessions** — protocol v2's `stream` namespace maps onto
+//!    server-owned [`StreamingTracker`] sessions managed by a
+//!    [`SessionManager`]: `OpenStream` hands out a capability token,
+//!    `PushTicks` feeds observation deltas through the worker pool, and
+//!    idle sessions are reaped by a TTL. Tick jobs and batch solves
+//!    share the pool through a two-class weighted-fair scheduler
+//!    ([`ServeConfig::batch_weight`] / [`ServeConfig::stream_weight`]),
+//!    so a firehose of stream ticks cannot starve batch solves or vice
+//!    versa.
 //!
-//! Determinism is inherited from the solving layers: a solve seeds its
-//! RNG from the request seed alone ([`solve_direct`] is the in-process
-//! equivalent, and the integration suite asserts the served reply
-//! matches it bitwise), so worker count, queue order, and cache state
-//! can never change any byte of any reply.
+//! Determinism is inherited from the solving layers: a batch solve seeds
+//! its RNG from the request seed alone ([`solve_direct`] is the
+//! in-process equivalent, and the integration suite asserts the served
+//! reply matches it bitwise), and a session is exactly a
+//! [`StreamingTracker`] fed the pushed observations in order — so worker
+//! count, scheduling order, and cache state can never change any byte of
+//! any reply.
 //!
 //! # Lifecycle
 //!
 //! [`Server::bind`] binds the listener and starts the worker pool;
 //! [`Server::run`] blocks in the accept loop until a
-//! [`Request::Shutdown`] arrives, then drains in-flight solves, joins
-//! the workers and connection handlers, and returns. Connections are
-//! read with a short poll tick, so idle timeouts
+//! [`batch::Request::Shutdown`] arrives, then drains in-flight jobs,
+//! joins the workers and connection handlers, and returns. Connections
+//! are read with a short poll tick, so idle timeouts
 //! ([`ServeConfig::read_timeout`]) and shutdown both take effect
 //! promptly without a signal handler.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,15 +66,18 @@ use rl_core::lss::{LssConfig, LssSolver};
 use rl_core::mds::MdsMapLocalizer;
 use rl_core::multilateration::{MultilaterationConfig, MultilaterationSolver};
 use rl_core::problem::{Frame, Localizer, Problem};
-use rl_deploy::presets;
+use rl_core::tracking::{StreamingTracker, TickObservation, TrackerConfig};
 use rl_deploy::Scenario;
+use rl_deploy::{mobility, presets};
 use rl_math::Fnv1a;
 use rl_net::RadioModel;
 
 use crate::cache::LruCache;
 use crate::protocol::{
-    self, ErrorCode, LocalizeReply, Request, Response, ServerStats, WireError, PROTOCOL_VERSION,
+    self, batch, stream, ErrorCode, LocalizeReply, Request, Response, ServerStats, WireError,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use crate::session::{Clock, SessionManager, SystemClock};
 
 /// Poll tick for connection reads: short enough that idle timeouts and
 /// shutdown are prompt, long enough to stay invisible in profiles.
@@ -70,9 +87,10 @@ const READ_TICK: Duration = Duration::from_millis(25);
 /// solver registry entries (DV-hop, centroid).
 const RANGE_M: f64 = 22.0;
 
-/// Names accepted in [`Request::Localize`]'s `solver` field, in registry
-/// order. Each maps to the same configuration the benchmark harness
-/// runs at metro scale, so served numbers match the campaign record.
+/// Names accepted in [`batch::Request::Localize`]'s `solver` field, in
+/// registry order. Each maps to the same configuration the benchmark
+/// harness runs at metro scale, so served numbers match the campaign
+/// record.
 pub const SOLVER_NAMES: &[&str] = &[
     "lss",
     "multilateration",
@@ -82,6 +100,9 @@ pub const SOLVER_NAMES: &[&str] = &[
     "dv-hop",
     "centroid",
 ];
+
+/// Names accepted in [`stream::TrackerSpec::preset`], in registry order.
+pub const TRACKER_PRESET_NAMES: &[&str] = &["default", "metro"];
 
 /// Resolves a solver registry name, or `None` for an unknown name.
 pub fn make_solver(name: &str) -> Option<Box<dyn Localizer>> {
@@ -99,6 +120,24 @@ pub fn make_solver(name: &str) -> Option<Box<dyn Localizer>> {
         "centroid" => Some(Box::new(CentroidLocalizer::new(RANGE_M))),
         _ => None,
     }
+}
+
+/// Resolves a [`stream::TrackerSpec`] into a [`TrackerConfig`], or
+/// `None` for an unknown preset name. Pure — sessions opened from equal
+/// specs always track identically.
+pub fn make_tracker_config(spec: &stream::TrackerSpec, seed: u64) -> Option<TrackerConfig> {
+    let mut config = match spec.preset.as_str() {
+        "default" => TrackerConfig::new(seed),
+        "metro" => TrackerConfig::metro(seed),
+        _ => return None,
+    };
+    if let Some(steps) = spec.steps_per_tick {
+        config = config.with_steps_per_tick(steps as usize);
+    }
+    if let Some(fraction) = spec.churn_restart_fraction {
+        config = config.with_churn_restart_fraction(fraction);
+    }
+    Some(config)
 }
 
 /// Server configuration (builder style).
@@ -120,17 +159,40 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Maximum accepted frame size (bytes).
     pub max_frame: usize,
-    /// Job-queue depth bound: a localize request arriving while this
-    /// many jobs are already waiting is rejected with
+    /// Per-class job-queue depth bound: a request arriving while this
+    /// many jobs of its class are already waiting is rejected with
     /// [`ErrorCode::Overloaded`] instead of enqueued (cache hits and
     /// coalesced joins are unaffected — they never enqueue). `0` means
     /// unbounded.
     pub queue_depth: usize,
     /// Test instrumentation: a minimum wall-clock floor applied to every
-    /// solve. The batching tests use it to hold a solve in flight long
-    /// enough that duplicate requests *deterministically* coalesce;
-    /// production configurations leave it at zero (a no-op).
+    /// job a worker picks up (batch solves and stream ticks alike). The
+    /// batching and quota tests use it to hold work in flight long
+    /// enough that races become *deterministic*; production
+    /// configurations leave it at zero (a no-op).
     pub solve_floor: Duration,
+    /// Idle TTL for streaming sessions: a session untouched for this
+    /// long is evicted (later use answers
+    /// [`ErrorCode::SessionEvicted`]). `Duration::ZERO` disables
+    /// eviction.
+    pub session_ttl: Duration,
+    /// Maximum concurrently open streaming sessions; opens beyond it are
+    /// rejected with [`ErrorCode::Overloaded`]. `0` means unbounded.
+    pub session_capacity: usize,
+    /// Per-session mailbox bound: observations queued (pushed but not
+    /// yet processed) beyond it reject the push with
+    /// [`ErrorCode::Overloaded`]. `0` means unbounded.
+    pub session_mailbox: usize,
+    /// Batch share of the two-class weighted-fair scheduler (see the
+    /// module docs); must be ≥ 1 with [`ServeConfig::stream_weight`].
+    pub batch_weight: u32,
+    /// Stream share of the two-class weighted-fair scheduler.
+    pub stream_weight: u32,
+    /// Time source for session TTL eviction; `None` means the monotonic
+    /// [`SystemClock`]. Tests inject a
+    /// [`ManualClock`](crate::session::ManualClock) to make eviction
+    /// deterministic.
+    pub clock: Option<Arc<dyn Clock>>,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +206,12 @@ impl Default for ServeConfig {
             max_frame: protocol::DEFAULT_MAX_FRAME,
             queue_depth: 1024,
             solve_floor: Duration::ZERO,
+            session_ttl: Duration::from_secs(300),
+            session_capacity: 64,
+            session_mailbox: 256,
+            batch_weight: 1,
+            stream_weight: 1,
+            clock: None,
         }
     }
 }
@@ -179,34 +247,129 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the job-queue depth bound (`0` = unbounded).
+    /// Sets the per-class job-queue depth bound (`0` = unbounded).
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth;
         self
     }
 
-    /// Sets the solve wall-clock floor (test instrumentation; see the
+    /// Sets the job wall-clock floor (test instrumentation; see the
     /// field docs).
     pub fn with_solve_floor(mut self, floor: Duration) -> Self {
         self.solve_floor = floor;
         self
     }
+
+    /// Sets the session idle TTL (`Duration::ZERO` = never evict).
+    pub fn with_session_ttl(mut self, ttl: Duration) -> Self {
+        self.session_ttl = ttl;
+        self
+    }
+
+    /// Sets the open-session capacity (`0` = unbounded).
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.session_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-session mailbox bound (`0` = unbounded).
+    pub fn with_session_mailbox(mut self, mailbox: usize) -> Self {
+        self.session_mailbox = mailbox;
+        self
+    }
+
+    /// Sets the scheduler class weights (both clamped to ≥ 1).
+    pub fn with_weights(mut self, batch: u32, stream: u32) -> Self {
+        self.batch_weight = batch.max(1);
+        self.stream_weight = stream.max(1);
+        self
+    }
+
+    /// Injects a [`Clock`] for session TTL eviction (test
+    /// instrumentation).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
 }
 
-/// One queued solve: a validated `(deployment, solver, seed)` triple
-/// plus its cache key.
-struct Job {
+/// One queued batch solve: a validated `(deployment, solver, seed)`
+/// triple plus its cache key.
+struct BatchJob {
     key: u64,
     preset: usize,
     solver: String,
     seed: u64,
 }
 
-/// The shared queue: jobs plus the shutdown latch, guarded together so a
-/// successful enqueue is always drained before the workers exit.
+/// One queued stream push: reserved observations bound for a session's
+/// tracker, plus the waiting connection's reply channel.
+struct StreamJob {
+    session: u64,
+    observations: Vec<TickObservation>,
+    tx: mpsc::Sender<Result<stream::PushReply, WireError>>,
+}
+
+/// A scheduler class: one slot of the weighted-fair wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Batch,
+    Stream,
+}
+
+/// Builds the weighted-round-robin wheel for the two job classes,
+/// interleaved (`B S B S B …`) so neither class waits a full burst of
+/// the other even at skewed weights.
+fn schedule_wheel(batch_weight: u32, stream_weight: u32) -> Vec<Class> {
+    let (b, s) = (batch_weight.max(1), stream_weight.max(1));
+    let mut wheel = Vec::with_capacity((b + s) as usize);
+    for i in 0..b.max(s) {
+        if i < b {
+            wheel.push(Class::Batch);
+        }
+        if i < s {
+            wheel.push(Class::Stream);
+        }
+    }
+    wheel
+}
+
+/// The shared scheduler state: both class queues plus the shutdown
+/// latch, guarded together so a successful enqueue is always drained
+/// before the workers exit.
 struct QueueState {
-    jobs: std::collections::VecDeque<Job>,
+    batch: VecDeque<BatchJob>,
+    stream: VecDeque<StreamJob>,
+    /// Next wheel slot to offer work; advances past the slot that
+    /// actually supplied a job, which is what makes the wheel
+    /// weighted-fair under sustained load.
+    cursor: usize,
     shutdown: bool,
+}
+
+enum Job {
+    Batch(BatchJob),
+    Stream(StreamJob),
+}
+
+impl QueueState {
+    /// Pops the next job by walking the wheel from the cursor. The
+    /// scheduler is work-conserving: when only one class has work, it
+    /// runs without waiting on the other's slots.
+    fn pop_next(&mut self, wheel: &[Class]) -> Option<Job> {
+        for step in 0..wheel.len() {
+            let slot = (self.cursor + step) % wheel.len();
+            let job = match wheel[slot] {
+                Class::Batch => self.batch.pop_front().map(Job::Batch),
+                Class::Stream => self.stream.pop_front().map(Job::Stream),
+            };
+            if let Some(job) = job {
+                self.cursor = (slot + 1) % wheel.len();
+                return Some(job);
+            }
+        }
+        None
+    }
 }
 
 type SolveResult = Result<Arc<LocalizeReply>, WireError>;
@@ -223,6 +386,8 @@ struct Shared {
     config: ServeConfig,
     resolved_workers: usize,
     presets: Vec<PresetEntry>,
+    /// The weighted-fair wheel (fixed at bind time).
+    wheel: Vec<Class>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     /// In-flight solves: cache key -> waiters. Lock order is `inflight`
@@ -230,6 +395,7 @@ struct Shared {
     inflight: Mutex<HashMap<u64, Vec<mpsc::Sender<SolveResult>>>>,
     cache: Mutex<LruCache<u64, Arc<LocalizeReply>>>,
     problems: Mutex<LruCache<(usize, u64), Arc<Problem>>>,
+    sessions: SessionManager,
     stop: AtomicBool,
     requests: AtomicU64,
     cache_hits: AtomicU64,
@@ -248,7 +414,10 @@ impl Shared {
     fn stats(&self) -> ServerStats {
         // Queue before cache: the cache lock is innermost everywhere
         // else, so it is never held while waiting on the queue.
-        let queued = self.queue.lock().expect("queue lock").jobs.len() as u64;
+        let (batch_queued, stream_queued) = {
+            let q = self.queue.lock().expect("queue lock");
+            (q.batch.len() as u64, q.stream.len() as u64)
+        };
         let cache = self.cache.lock().expect("cache lock");
         ServerStats {
             protocol: PROTOCOL_VERSION,
@@ -262,9 +431,15 @@ impl Shared {
             errors: self.errors.load(Ordering::Relaxed),
             cache_entries: cache.len() as u64,
             cache_capacity: cache.capacity() as u64,
-            queued,
+            queued: batch_queued + stream_queued,
             queue_depth: self.config.queue_depth as u64,
             overloaded: self.overloaded.load(Ordering::Relaxed),
+            sessions_open: self.sessions.open_count(),
+            sessions_evicted: self.sessions.evicted_count(),
+            session_capacity: self.sessions.capacity() as u64,
+            ticks_served: self.sessions.ticks_served(),
+            batch_queued,
+            stream_queued,
         }
     }
 
@@ -289,6 +464,12 @@ impl Shared {
             .insert((preset, seed), Arc::clone(&problem));
         problem
     }
+
+    /// Counts and builds an [`ErrorCode::Overloaded`] rejection.
+    fn overloaded_error(&self, message: String) -> WireError {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+        WireError::new(ErrorCode::Overloaded, message)
+    }
 }
 
 /// The problem/config fingerprint a solve is cached under: preset
@@ -311,6 +492,14 @@ pub fn preset_digest(name: &str, scenario: &Scenario) -> u64 {
     h.write_str(name);
     h.write_str(&json);
     h.finish()
+}
+
+/// The canonical identity of an [`stream::Request::OpenStream`]: what
+/// the session token is fingerprinted from (plus a per-server nonce).
+fn open_identity(source: &stream::StreamSource, spec: &stream::TrackerSpec, seed: u64) -> String {
+    let source = serde_json::to_string(source).expect("stream sources serialize infallibly");
+    let spec = serde_json::to_string(spec).expect("tracker specs serialize infallibly");
+    format!("{source}|{spec}|{seed}")
 }
 
 /// Builds the reply for a solved problem. Fails (typed) when the solver
@@ -363,8 +552,8 @@ fn reply_for(
     })
 }
 
-/// The in-process equivalent of one served [`Request::Localize`]: the
-/// canonical reference the integration tests compare served replies
+/// The in-process equivalent of one served [`batch::Request::Localize`]:
+/// the canonical reference the integration tests compare served replies
 /// against, bit for bit. (The server runs exactly this computation,
 /// with the problem memoized.)
 ///
@@ -407,17 +596,31 @@ impl Server {
                 scenario,
             })
             .collect();
+        let clock: Arc<dyn Clock> = config
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(SystemClock::new()));
+        let sessions = SessionManager::new(
+            clock,
+            config.session_ttl,
+            config.session_capacity,
+            config.session_mailbox,
+        );
         let shared = Arc::new(Shared {
             resolved_workers,
             presets,
+            wheel: schedule_wheel(config.batch_weight, config.stream_weight),
             queue: Mutex::new(QueueState {
-                jobs: std::collections::VecDeque::new(),
+                batch: VecDeque::new(),
+                stream: VecDeque::new(),
+                cursor: 0,
                 shutdown: false,
             }),
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             problems: Mutex::new(LruCache::new(config.problem_capacity)),
+            sessions,
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -448,9 +651,9 @@ impl Server {
         self.local_addr
     }
 
-    /// Serves connections until a [`Request::Shutdown`] arrives, then
-    /// drains in-flight solves, joins workers and connection handlers,
-    /// and returns.
+    /// Serves connections until a [`batch::Request::Shutdown`] arrives,
+    /// then drains in-flight jobs, joins workers and connection
+    /// handlers, and returns.
     ///
     /// # Errors
     ///
@@ -474,9 +677,9 @@ impl Server {
                 }
             }
         }
-        // Shutdown: workers drain the queue (every accepted job answers
-        // its waiters), handlers notice the stop flag on their next read
-        // tick.
+        // Shutdown: workers drain both queues (every accepted job
+        // answers its waiters), handlers notice the stop flag on their
+        // next read tick.
         for w in self.workers {
             let _ = w.join();
         }
@@ -501,7 +704,7 @@ impl Server {
     }
 }
 
-/// Requests a shutdown: latches the queue (no further enqueues), wakes
+/// Requests a shutdown: latches the queues (no further enqueues), wakes
 /// the workers, and pokes the accept loop awake with a throwaway
 /// connection.
 fn trigger_shutdown(shared: &Shared, local_addr: SocketAddr) {
@@ -520,7 +723,7 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(job) = q.jobs.pop_front() {
+                if let Some(job) = q.pop_next(&shared.wheel) {
                     break job;
                 }
                 if q.shutdown {
@@ -529,40 +732,84 @@ fn worker_loop(shared: &Shared) {
                 q = shared.queue_cv.wait(q).expect("queue lock");
             }
         };
-        shared.solves_started.fetch_add(1, Ordering::Relaxed);
+        // "Started" means picked up: the gauge moves before the solve
+        // floor so tests (and operators) can observe an occupied worker.
+        if let Job::Batch(_) = job {
+            shared.solves_started.fetch_add(1, Ordering::Relaxed);
+        }
         if !shared.config.solve_floor.is_zero() {
             std::thread::sleep(shared.config.solve_floor);
         }
-        let problem = shared.problem(job.preset, job.seed);
-        let name = shared.presets[job.preset].name.clone();
-        let result = reply_for(&problem, &name, &job.solver, job.seed).map(Arc::new);
-        shared.solves.fetch_add(1, Ordering::Relaxed);
-        // Publish: cache (successes only) and waiter hand-off happen
-        // under the in-flight lock so no request can fall between
-        // "not in flight" and "not yet cached".
-        let waiters = {
-            let mut inflight = shared.inflight.lock().expect("inflight lock");
-            if let Ok(reply) = &result {
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(job.key, Arc::clone(reply));
+        match job {
+            Job::Batch(job) => run_batch_job(shared, job),
+            Job::Stream(job) => {
+                let result = shared.sessions.process(job.session, &job.observations);
+                let _ = job.tx.send(result);
             }
-            inflight.remove(&job.key).unwrap_or_default()
-        };
-        for tx in waiters {
-            let _ = tx.send(result.clone());
         }
     }
 }
 
+fn run_batch_job(shared: &Shared, job: BatchJob) {
+    let problem = shared.problem(job.preset, job.seed);
+    let name = shared.presets[job.preset].name.clone();
+    let result = reply_for(&problem, &name, &job.solver, job.seed).map(Arc::new);
+    shared.solves.fetch_add(1, Ordering::Relaxed);
+    // Publish: cache (successes only) and waiter hand-off happen
+    // under the in-flight lock so no request can fall between
+    // "not in flight" and "not yet cached".
+    let waiters = {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        if let Ok(reply) = &result {
+            shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .insert(job.key, Arc::clone(reply));
+        }
+        inflight.remove(&job.key).unwrap_or_default()
+    };
+    for tx in waiters {
+        let _ = tx.send(result.clone());
+    }
+}
+
 /// Handles one localize request end to end (cache, coalesce, or
-/// enqueue + wait). Returns the response to write.
-fn handle_localize(shared: &Shared, deployment: &str, solver: &str, seed: u64) -> Response {
+/// enqueue + wait), then shapes the reply: the full frame, or its
+/// [`Projection::slice`](batch::Projection::slice) when `nodes` asks
+/// for a subset. The projection runs over the same (possibly cached)
+/// full reply, so projected frames are byte-identical to slicing a
+/// full one client-side.
+fn handle_localize(
+    shared: &Shared,
+    deployment: &str,
+    solver: &str,
+    seed: u64,
+    nodes: Option<&[u64]>,
+) -> Response {
+    match localize_reply(shared, deployment, solver, seed) {
+        Err(err) => Response::Error(err),
+        Ok(reply) => match nodes {
+            None => batch::Response::Localized((*reply).clone()).into(),
+            Some(nodes) => match batch::Projection::slice(&reply, nodes) {
+                Ok(projection) => batch::Response::Projected(projection).into(),
+                Err(err) => Response::Error(err),
+            },
+        },
+    }
+}
+
+/// The cache/coalesce/enqueue core of a localize request; returns the
+/// full reply every response shape is derived from.
+fn localize_reply(
+    shared: &Shared,
+    deployment: &str,
+    solver: &str,
+    seed: u64,
+) -> Result<Arc<LocalizeReply>, WireError> {
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let Some(preset) = shared.preset_index(deployment) else {
-        return Response::Error(WireError::new(
+        return Err(WireError::new(
             ErrorCode::UnknownDeployment,
             format!(
                 "unknown deployment `{deployment}` (serveable: {})",
@@ -571,7 +818,7 @@ fn handle_localize(shared: &Shared, deployment: &str, solver: &str, seed: u64) -
         ));
     };
     if make_solver(solver).is_none() {
-        return Response::Error(WireError::new(
+        return Err(WireError::new(
             ErrorCode::UnknownSolver,
             format!(
                 "unknown solver `{solver}` (serveable: {})",
@@ -591,7 +838,7 @@ fn handle_localize(shared: &Shared, deployment: &str, solver: &str, seed: u64) -
             false
         } else if let Some(reply) = shared.cache.lock().expect("cache lock").get(&key) {
             shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Response::Localized((**reply).clone());
+            return Ok(Arc::clone(reply));
         } else {
             inflight.insert(key, vec![tx]);
             true
@@ -603,23 +850,21 @@ fn handle_localize(shared: &Shared, deployment: &str, solver: &str, seed: u64) -
             // Undo the registration; nobody will drain this job.
             drop(q);
             shared.inflight.lock().expect("inflight lock").remove(&key);
-            return Response::Error(WireError::new(
+            return Err(WireError::new(
                 ErrorCode::ShuttingDown,
                 "server is shutting down",
             ));
         }
         let depth = shared.config.queue_depth;
-        if depth > 0 && q.jobs.len() >= depth {
+        if depth > 0 && q.batch.len() >= depth {
             // Queue at its bound: reject instead of growing without
             // limit. The registration is undone the same way as the
             // shutdown path; any request that coalesced onto it in the
             // meantime receives the same typed rejection.
             drop(q);
-            shared.overloaded.fetch_add(1, Ordering::Relaxed);
-            let err = WireError::new(
-                ErrorCode::Overloaded,
-                format!("job queue is full ({depth} waiting); retry after a backoff"),
-            );
+            let err = shared.overloaded_error(format!(
+                "batch job queue is full ({depth} waiting); retry after a backoff"
+            ));
             let waiters = shared
                 .inflight
                 .lock()
@@ -629,9 +874,9 @@ fn handle_localize(shared: &Shared, deployment: &str, solver: &str, seed: u64) -
             for tx in waiters {
                 let _ = tx.send(Err(err.clone()));
             }
-            return Response::Error(err);
+            return Err(err);
         }
-        q.jobs.push_back(Job {
+        q.batch.push_back(BatchJob {
             key,
             preset,
             solver: solver.to_string(),
@@ -641,12 +886,324 @@ fn handle_localize(shared: &Shared, deployment: &str, solver: &str, seed: u64) -
         shared.queue_cv.notify_one();
     }
     match rx.recv() {
-        Ok(Ok(reply)) => Response::Localized((*reply).clone()),
-        Ok(Err(err)) => Response::Error(err),
-        Err(_) => Response::Error(WireError::new(
+        Ok(result) => result,
+        Err(_) => Err(WireError::new(
             ErrorCode::SolveFailed,
             "solve abandoned during shutdown",
         )),
+    }
+}
+
+/// Handles [`stream::Request::OpenStream`]: resolves the source and
+/// tracker spec, then asks the [`SessionManager`] for a token.
+fn handle_open(
+    shared: &Shared,
+    source: &stream::StreamSource,
+    spec: &stream::TrackerSpec,
+    seed: u64,
+) -> Response {
+    let universe = match source {
+        stream::StreamSource::Preset { name } => match mobility::preset(name) {
+            Some(scenario) => scenario.base.deployment.len(),
+            None => {
+                return Response::Error(WireError::new(
+                    ErrorCode::UnknownDeployment,
+                    format!(
+                        "unknown mobility preset `{name}` (serveable: {})",
+                        mobility::NAMES.join(", ")
+                    ),
+                ));
+            }
+        },
+        stream::StreamSource::Custom { deployment, .. } => match presets::preset(deployment) {
+            Some(scenario) => scenario.deployment.len(),
+            None => {
+                return Response::Error(WireError::new(
+                    ErrorCode::UnknownDeployment,
+                    format!(
+                        "unknown deployment `{deployment}` (serveable: {})",
+                        presets::NAMES.join(", ")
+                    ),
+                ));
+            }
+        },
+    };
+    let Some(config) = make_tracker_config(spec, seed) else {
+        return Response::Error(WireError::new(
+            ErrorCode::UnknownSolver,
+            format!(
+                "unknown tracker preset `{}` (serveable: {})",
+                spec.preset,
+                TRACKER_PRESET_NAMES.join(", ")
+            ),
+        ));
+    };
+    let tracker = StreamingTracker::with_lss(config);
+    match shared
+        .sessions
+        .open(&open_identity(source, spec, seed), universe, tracker)
+    {
+        Ok(session) => stream::Response::StreamOpened {
+            session,
+            universe: universe as u64,
+        }
+        .into(),
+        Err(err) => {
+            if err.code == ErrorCode::Overloaded {
+                shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Error(err)
+        }
+    }
+}
+
+/// Handles [`stream::Request::PushTicks`]: validates and converts the
+/// observations, reserves mailbox room, enqueues one stream job, and
+/// waits for the worker's reply.
+fn handle_push(
+    shared: &Shared,
+    session: u64,
+    observations: &[stream::WireObservation],
+) -> Response {
+    let mut converted = Vec::with_capacity(observations.len());
+    for obs in observations {
+        match obs.to_observation() {
+            Ok(obs) => converted.push(obs),
+            Err(err) => return Response::Error(err),
+        }
+    }
+    let universe = match shared.sessions.reserve(session, converted.len()) {
+        Ok(universe) => universe,
+        Err(err) => {
+            if err.code == ErrorCode::Overloaded {
+                shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+            return Response::Error(err);
+        }
+    };
+    if let Some(obs) = converted
+        .iter()
+        .find(|obs| obs.measurements.node_count() != universe)
+    {
+        shared.sessions.release(session, converted.len());
+        return Response::Error(WireError::new(
+            ErrorCode::InvalidObservation,
+            format!(
+                "tick {} declares a {}-slot universe; the session's is {universe}",
+                obs.tick,
+                obs.measurements.node_count()
+            ),
+        ));
+    }
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().expect("queue lock");
+        if q.shutdown {
+            drop(q);
+            shared.sessions.release(session, converted.len());
+            return Response::Error(WireError::new(
+                ErrorCode::ShuttingDown,
+                "server is shutting down",
+            ));
+        }
+        let depth = shared.config.queue_depth;
+        if depth > 0 && q.stream.len() >= depth {
+            drop(q);
+            shared.sessions.release(session, converted.len());
+            return Response::Error(shared.overloaded_error(format!(
+                "stream job queue is full ({depth} waiting); retry after a backoff"
+            )));
+        }
+        q.stream.push_back(StreamJob {
+            session,
+            observations: converted,
+            tx,
+        });
+    }
+    shared.queue_cv.notify_one();
+    match rx.recv() {
+        Ok(Ok(reply)) => stream::Response::TicksPushed(reply).into(),
+        Ok(Err(err)) => Response::Error(err),
+        Err(_) => Response::Error(WireError::new(
+            ErrorCode::SolveFailed,
+            "push abandoned during shutdown",
+        )),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // No Nagle: the protocol is strict request/response with small
+    // frames, so coalescing delay is pure added latency.
+    if stream.set_nodelay(true).is_err()
+        || stream.set_read_timeout(Some(READ_TICK)).is_err()
+        || stream
+            .set_write_timeout(Some(shared.config.read_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let local_addr = stream.local_addr().ok();
+    // A connection that never sends Hello speaks the current protocol;
+    // a Hello pins whatever both sides support (v1 connections are
+    // batch-only — see the protocol module docs).
+    let mut negotiated = PROTOCOL_VERSION;
+    loop {
+        let payload = match read_frame_polled(&mut stream, shared) {
+            ReadOutcome::Frame(payload) => payload,
+            ReadOutcome::TooLarge(declared) => {
+                // Typed rejection, then close: past an oversized length
+                // declaration the byte stream is unsynchronized.
+                let response = Response::Error(WireError::new(
+                    ErrorCode::FrameTooLarge,
+                    format!(
+                        "frame of {declared} bytes exceeds the {}-byte maximum",
+                        shared.config.max_frame
+                    ),
+                ));
+                let _ = send_response(&mut stream, shared, &response);
+                return;
+            }
+            ReadOutcome::Closed
+            | ReadOutcome::IdleTimeout
+            | ReadOutcome::Stopped
+            | ReadOutcome::Failed => return,
+        };
+        let request: Request = match protocol::decode(&payload) {
+            Ok(request) => request,
+            Err(reason) => {
+                // The frame boundary was intact, so the connection can
+                // keep serving after the typed rejection.
+                let response = Response::Error(WireError::new(ErrorCode::MalformedFrame, reason));
+                if !send_response(&mut stream, shared, &response) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Hello { protocol } => {
+                if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&protocol) {
+                    negotiated = protocol;
+                    Response::Hello {
+                        protocol: negotiated,
+                        server: concat!("rl-serve/", env!("CARGO_PKG_VERSION")).to_string(),
+                    }
+                } else {
+                    Response::Error(WireError::new(
+                        ErrorCode::UnsupportedProtocol,
+                        format!(
+                            "client speaks v{protocol}, server speaks \
+                             v{MIN_PROTOCOL_VERSION}..=v{PROTOCOL_VERSION}"
+                        ),
+                    ))
+                }
+            }
+            Request::Batch(request) => handle_batch(shared, request, negotiated, &mut stream),
+            Request::Stream(request) => {
+                if negotiated < 2 {
+                    Response::Error(WireError::new(
+                        ErrorCode::UnsupportedProtocol,
+                        format!("stream requests need protocol v2; this connection negotiated v{negotiated}"),
+                    ))
+                } else if shared.stop.load(Ordering::SeqCst) {
+                    Response::Error(WireError::new(
+                        ErrorCode::ShuttingDown,
+                        "server is shutting down",
+                    ))
+                } else {
+                    match request {
+                        stream::Request::OpenStream {
+                            source,
+                            tracker,
+                            seed,
+                        } => handle_open(shared, &source, &tracker, seed),
+                        stream::Request::PushTicks {
+                            session,
+                            observations,
+                        } => handle_push(shared, session, &observations),
+                        stream::Request::ReadSolution { session, nodes } => {
+                            match shared.sessions.read(session, nodes.as_deref()) {
+                                Ok(reply) => stream::Response::Solution(reply).into(),
+                                Err(err) => Response::Error(err),
+                            }
+                        }
+                        stream::Request::CloseStream { session } => {
+                            match shared.sessions.close(session) {
+                                Ok(ticks) => {
+                                    stream::Response::StreamClosed { session, ticks }.into()
+                                }
+                                Err(err) => Response::Error(err),
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        // Shutdown is terminal for the connection: the ack was already
+        // written inside handle_batch.
+        let Some(response) = response_or_shutdown(response, shared, local_addr) else {
+            return;
+        };
+        if !send_response(&mut stream, shared, &response) {
+            return;
+        }
+    }
+}
+
+/// Marker wrapped around the shutdown acknowledgment so the connection
+/// loop knows to stop after triggering it.
+fn response_or_shutdown(
+    response: Response,
+    shared: &Shared,
+    local_addr: Option<SocketAddr>,
+) -> Option<Response> {
+    if matches!(response, Response::Batch(batch::Response::ShuttingDown)) {
+        if let Some(addr) = local_addr {
+            trigger_shutdown(shared, addr);
+        }
+        return None;
+    }
+    Some(response)
+}
+
+/// Dispatches one batch-namespace request.
+fn handle_batch(
+    shared: &Shared,
+    request: batch::Request,
+    negotiated: u32,
+    stream: &mut TcpStream,
+) -> Response {
+    match request {
+        batch::Request::Status => batch::Response::Status(shared.stats()).into(),
+        batch::Request::Shutdown => {
+            // Ack first (the caller tears the server down right after).
+            let ack: Response = batch::Response::ShuttingDown.into();
+            let _ = send_response(stream, shared, &ack);
+            ack
+        }
+        batch::Request::Localize {
+            deployment,
+            solver,
+            seed,
+            nodes,
+        } => {
+            if negotiated < 2 && nodes.is_some() {
+                Response::Error(WireError::new(
+                    ErrorCode::UnsupportedProtocol,
+                    format!(
+                        "the `nodes` projection needs protocol v2; \
+                         this connection negotiated v{negotiated}"
+                    ),
+                ))
+            } else if shared.stop.load(Ordering::SeqCst) {
+                Response::Error(WireError::new(
+                    ErrorCode::ShuttingDown,
+                    "server is shutting down",
+                ))
+            } else {
+                handle_localize(shared, &deployment, &solver, seed, nodes.as_deref())
+            }
+        }
     }
 }
 
@@ -733,94 +1290,6 @@ fn send_response(stream: &mut TcpStream, shared: &Shared, response: &Response) -
     protocol::send(stream, response, usize::MAX).is_ok()
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    // No Nagle: the protocol is strict request/response with small
-    // frames, so coalescing delay is pure added latency.
-    if stream.set_nodelay(true).is_err()
-        || stream.set_read_timeout(Some(READ_TICK)).is_err()
-        || stream
-            .set_write_timeout(Some(shared.config.read_timeout))
-            .is_err()
-    {
-        return;
-    }
-    let local_addr = stream.local_addr().ok();
-    loop {
-        let payload = match read_frame_polled(&mut stream, shared) {
-            ReadOutcome::Frame(payload) => payload,
-            ReadOutcome::TooLarge(declared) => {
-                // Typed rejection, then close: past an oversized length
-                // declaration the byte stream is unsynchronized.
-                let response = Response::Error(WireError::new(
-                    ErrorCode::FrameTooLarge,
-                    format!(
-                        "frame of {declared} bytes exceeds the {}-byte maximum",
-                        shared.config.max_frame
-                    ),
-                ));
-                let _ = send_response(&mut stream, shared, &response);
-                return;
-            }
-            ReadOutcome::Closed
-            | ReadOutcome::IdleTimeout
-            | ReadOutcome::Stopped
-            | ReadOutcome::Failed => return,
-        };
-        let request: Request = match protocol::decode(&payload) {
-            Ok(request) => request,
-            Err(reason) => {
-                // The frame boundary was intact, so the connection can
-                // keep serving after the typed rejection.
-                let response = Response::Error(WireError::new(ErrorCode::MalformedFrame, reason));
-                if !send_response(&mut stream, shared, &response) {
-                    return;
-                }
-                continue;
-            }
-        };
-        let response = match request {
-            Request::Hello { protocol } => {
-                if protocol == PROTOCOL_VERSION {
-                    Response::Hello {
-                        protocol: PROTOCOL_VERSION,
-                        server: concat!("rl-serve/", env!("CARGO_PKG_VERSION")).to_string(),
-                    }
-                } else {
-                    Response::Error(WireError::new(
-                        ErrorCode::UnsupportedProtocol,
-                        format!("client speaks v{protocol}, server speaks v{PROTOCOL_VERSION}"),
-                    ))
-                }
-            }
-            Request::Status => Response::Status(shared.stats()),
-            Request::Shutdown => {
-                let _ = send_response(&mut stream, shared, &Response::ShuttingDown);
-                if let Some(addr) = local_addr {
-                    trigger_shutdown(shared, addr);
-                }
-                return;
-            }
-            Request::Localize {
-                deployment,
-                solver,
-                seed,
-            } => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    Response::Error(WireError::new(
-                        ErrorCode::ShuttingDown,
-                        "server is shutting down",
-                    ))
-                } else {
-                    handle_localize(shared, &deployment, &solver, seed)
-                }
-            }
-        };
-        if !send_response(&mut stream, shared, &response) {
-            return;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,6 +1300,33 @@ mod tests {
             assert!(make_solver(name).is_some(), "solver {name} must resolve");
         }
         assert!(make_solver("gradient-descent-from-mars").is_none());
+    }
+
+    #[test]
+    fn tracker_registry_resolves_every_listed_preset() {
+        for &name in TRACKER_PRESET_NAMES {
+            let spec = stream::TrackerSpec {
+                preset: name.to_string(),
+                ..stream::TrackerSpec::default()
+            };
+            assert!(
+                make_tracker_config(&spec, 7).is_some(),
+                "tracker preset {name} must resolve"
+            );
+        }
+        let unknown = stream::TrackerSpec {
+            preset: "imaginary".to_string(),
+            ..stream::TrackerSpec::default()
+        };
+        assert!(make_tracker_config(&unknown, 7).is_none());
+        let tweaked = stream::TrackerSpec {
+            preset: "default".to_string(),
+            steps_per_tick: Some(9),
+            churn_restart_fraction: Some(0.5),
+        };
+        let config = make_tracker_config(&tweaked, 7).unwrap();
+        assert_eq!(config.warm.max_iterations, 9);
+        assert_eq!(config.churn_restart_fraction, 0.5);
     }
 
     #[test]
@@ -856,6 +1352,68 @@ mod tests {
         // Same geometry under a different registry name is a different
         // serveable thing.
         assert_ne!(preset_digest("town", &town), preset_digest("town2", &town));
+    }
+
+    #[test]
+    fn schedule_wheel_interleaves_weighted_slots() {
+        assert_eq!(schedule_wheel(1, 1), vec![Class::Batch, Class::Stream]);
+        assert_eq!(
+            schedule_wheel(3, 1),
+            vec![Class::Batch, Class::Stream, Class::Batch, Class::Batch]
+        );
+        // Degenerate weights still yield a serviceable wheel.
+        assert_eq!(schedule_wheel(0, 0), vec![Class::Batch, Class::Stream]);
+    }
+
+    #[test]
+    fn weighted_wheel_shares_service_between_classes() {
+        let wheel = schedule_wheel(2, 1);
+        let mut q = QueueState {
+            batch: VecDeque::new(),
+            stream: VecDeque::new(),
+            cursor: 0,
+            shutdown: false,
+        };
+        let (tx, _rx) = mpsc::channel();
+        for i in 0..6 {
+            q.batch.push_back(BatchJob {
+                key: i,
+                preset: 0,
+                solver: "lss".to_string(),
+                seed: i,
+            });
+            q.stream.push_back(StreamJob {
+                session: i,
+                observations: Vec::new(),
+                tx: tx.clone(),
+            });
+        }
+        let mut order = Vec::new();
+        while let Some(job) = q.pop_next(&wheel) {
+            order.push(match job {
+                Job::Batch(_) => Class::Batch,
+                Job::Stream(_) => Class::Stream,
+            });
+        }
+        // 2:1 batch:stream service while both queues are backlogged,
+        // then the work-conserving drain of the leftover stream jobs.
+        assert_eq!(
+            order,
+            vec![
+                Class::Batch,
+                Class::Stream,
+                Class::Batch,
+                Class::Batch,
+                Class::Stream,
+                Class::Batch,
+                Class::Batch,
+                Class::Stream,
+                Class::Batch,
+                Class::Stream,
+                Class::Stream,
+                Class::Stream,
+            ]
+        );
     }
 
     #[test]

@@ -114,6 +114,6 @@ pub mod prelude {
         dijkstra, dijkstra_multi_into, CsrMatrix, DijkstraWorkspace, LinearOperator,
     };
     pub use rl_ranging::measurement::{DirectedSample, MeasurementSet, RangingCampaign};
-    pub use rl_serve::{Client, ServeConfig, Server};
+    pub use rl_serve::{Client, ServeConfig, Server, StreamSession};
     pub use rl_signal::env::Environment;
 }

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use resilient_localization::serve::client::{Client, ClientError};
 use resilient_localization::serve::protocol::{
-    self, ErrorCode, Request, Response, PROTOCOL_VERSION,
+    self, batch, ErrorCode, Request, Response, PROTOCOL_VERSION,
 };
 use resilient_localization::serve::server::solve_direct;
 use resilient_localization::serve::{ServeConfig, Server};
@@ -72,11 +72,7 @@ fn concurrent_clients_get_bitwise_direct_results() {
 fn repeats_hit_the_cache_with_byte_identical_frames() {
     let (addr, handle) = Server::spawn(ServeConfig::default()).unwrap();
     let mut client = Client::connect(addr).unwrap();
-    let request = Request::Localize {
-        deployment: "parking-lot".into(),
-        solver: "centroid".into(),
-        seed: SEED,
-    };
+    let request = Request::localize("parking-lot", "centroid", SEED);
     let cold = client.request_raw(&request).unwrap();
     let before = client.status().unwrap();
     let repeat = client.request_raw(&request).unwrap();
@@ -98,7 +94,7 @@ fn repeats_hit_the_cache_with_byte_identical_frames() {
         protocol::decode::<Response>(&cold)
             .ok()
             .and_then(|r| match r {
-                Response::Localized(reply) => Some(reply.seed),
+                Response::Batch(batch::Response::Localized(reply)) => Some(reply.seed),
                 _ => None,
             })
     );
@@ -210,12 +206,17 @@ fn malformed_frames_get_typed_errors_without_dropping_the_connection() {
     }
 
     // The same raw connection still works (framing never desynced).
-    protocol::send(&mut stream, &Request::Status, usize::MAX).unwrap();
+    protocol::send(
+        &mut stream,
+        &Request::Batch(batch::Request::Status),
+        usize::MAX,
+    )
+    .unwrap();
     let payload = protocol::read_frame(&mut stream, usize::MAX)
         .unwrap()
         .unwrap();
     match protocol::decode::<Response>(&payload).unwrap() {
-        Response::Status(stats) => assert!(stats.errors >= 2),
+        Response::Batch(batch::Response::Status(stats)) => assert!(stats.errors >= 2),
         other => panic!("expected Status, got {other:?}"),
     }
 
@@ -298,6 +299,17 @@ fn protocol_version_mismatch_is_a_typed_error() {
     match protocol::decode::<Response>(&payload).unwrap() {
         Response::Error(e) => assert_eq!(e.code, ErrorCode::UnsupportedProtocol),
         other => panic!("expected UnsupportedProtocol, got {other:?}"),
+    }
+
+    // The connection survives the rejection, and v1 is still
+    // negotiated: the server echoes the older version back.
+    protocol::send(&mut stream, &Request::Hello { protocol: 1 }, usize::MAX).unwrap();
+    let payload = protocol::read_frame(&mut stream, usize::MAX)
+        .unwrap()
+        .unwrap();
+    match protocol::decode::<Response>(&payload).unwrap() {
+        Response::Hello { protocol, .. } => assert_eq!(protocol, 1),
+        other => panic!("expected a v1 Hello, got {other:?}"),
     }
 
     let mut client = Client::connect(addr).unwrap();

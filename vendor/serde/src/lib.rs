@@ -108,6 +108,17 @@ pub trait Serialize {
 pub trait Deserialize: Sized {
     /// Reconstructs `Self` from a value tree.
     fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field of this type is *absent*
+    /// from the serialized map, or `None` when absence is an error.
+    ///
+    /// Mirrors real serde's implicit `Option` default: only
+    /// `Option<T>` overrides this (to `Some(None)`), which is what lets
+    /// a newer reader accept frames written before an optional field
+    /// existed. Every other type keeps absence a hard error.
+    fn absent() -> Option<Self> {
+        None
+    }
 }
 
 /// Owned-deserialization alias, mirroring serde's `DeserializeOwned`.
@@ -118,7 +129,9 @@ impl<T: Deserialize> DeserializeOwned for T {}
 // Derive support (hidden; called by serde_derive-generated code).
 // ------------------------------------------------------------------
 
-/// Looks up a struct field by name and deserializes it.
+/// Looks up a struct field by name and deserializes it. An absent field
+/// falls back to [`Deserialize::absent`] (so `Option` fields added after
+/// a frame was written read back as `None`) before erroring.
 #[doc(hidden)]
 pub fn __get_field<T: Deserialize>(entries: &[(Value, Value)], name: &str) -> Result<T, Error> {
     for (k, v) in entries {
@@ -128,7 +141,7 @@ pub fn __get_field<T: Deserialize>(entries: &[(Value, Value)], name: &str) -> Re
             }
         }
     }
-    Err(Error::custom(format!("missing field `{name}`")))
+    T::absent().ok_or_else(|| Error::custom(format!("missing field `{name}`")))
 }
 
 // ------------------------------------------------------------------
@@ -346,6 +359,10 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => T::from_value(other).map(Some),
         }
     }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
@@ -535,6 +552,23 @@ mod tests {
         assert_eq!(none.to_value(), Value::Null);
         assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
         assert_eq!(Some(3u32).to_value(), Value::I64(3));
+    }
+
+    #[test]
+    fn absent_fields_default_only_for_options() {
+        let entries = [(Value::Str("present".into()), Value::I64(3))];
+        // Absent Option fields read back as None (forward compatibility
+        // for newly added optional fields).
+        let missing_opt: Option<u32> = __get_field(&entries, "added_later").unwrap();
+        assert_eq!(missing_opt, None);
+        // Present fields still deserialize, optional or not.
+        assert_eq!(__get_field::<u32>(&entries, "present").unwrap(), 3);
+        assert_eq!(
+            __get_field::<Option<u32>>(&entries, "present").unwrap(),
+            Some(3)
+        );
+        // Absent required fields stay hard errors.
+        assert!(__get_field::<u32>(&entries, "added_later").is_err());
     }
 
     #[test]
